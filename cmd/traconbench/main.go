@@ -1,0 +1,112 @@
+// Command traconbench regenerates the TRACON paper's evaluation: every
+// table and figure of Section 4, printed as text tables. Individual
+// experiments are selected with -only; the heavyweight dynamic sweeps can
+// be trimmed with -hours and -quick.
+//
+// Usage:
+//
+//	traconbench                 # everything, paper-scale where feasible
+//	traconbench -quick          # reduced machine counts and horizons
+//	traconbench -only fig3,fig7 # a subset
+//	traconbench -spotcheck      # include the 10,000-machine run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tracon/internal/experiments"
+	"tracon/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traconbench: ")
+
+	var (
+		only      = flag.String("only", "", "comma-separated subset: table1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,storage")
+		quick     = flag.Bool("quick", false, "smaller machine counts and shorter horizons")
+		hours     = flag.Float64("hours", 0, "override the dynamic horizon in hours (0 = default)")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		spotcheck = flag.Bool("spotcheck", false, "also run the 10,000-machine Sec 4.8 spot check")
+		csvDir    = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "building environment (profiling 8 apps × 125 workloads, training models)...")
+	env, err := experiments.NewEnv(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	staticMachines := []int{8, 64, 256, 1024}
+	dynMachines := []int{8, 64, 256, 1024}
+	lambdas := []float64{2, 5, 10, 20, 50, 100}
+	dynHours := 10.0
+	repeats := 3
+	if *quick {
+		staticMachines = []int{8, 64}
+		dynMachines = []int{8, 64}
+		lambdas = []float64{2, 10, 50}
+		dynHours = 2
+		repeats = 2
+	}
+	if *hours > 0 {
+		dynHours = *hours
+	}
+
+	section := func(name string, run func() (fmt.Stringer, error)) {
+		if !sel(name) {
+			return
+		}
+		t0 := time.Now()
+		res, err := run()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res.String())
+		if *csvDir != "" {
+			if tab, ok := res.(trace.Tabular); ok {
+				path := filepath.Join(*csvDir, name+".csv")
+				if err := trace.Save(path, tab.Table()); err != nil {
+					log.Fatalf("%s: writing %s: %v", name, path, err)
+				}
+				fmt.Fprintf(os.Stderr, "[%s CSV → %s]\n", name, path)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	section("table1", func() (fmt.Stringer, error) { return experiments.Table1(env) })
+	section("fig3", func() (fmt.Stringer, error) { return experiments.Fig3(env) })
+	section("fig4", func() (fmt.Stringer, error) { return experiments.Fig4(env, 10) })
+	section("fig5", func() (fmt.Stringer, error) { return experiments.Fig5(env) })
+	section("fig6", func() (fmt.Stringer, error) { return experiments.Fig6(env) })
+	section("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(env) })
+	section("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(env, staticMachines, repeats) })
+	section("fig9", func() (fmt.Stringer, error) { return experiments.Fig9(env, lambdas, dynHours) })
+	section("fig10", func() (fmt.Stringer, error) { return experiments.Fig10(env, lambdas, dynHours) })
+	section("fig11", func() (fmt.Stringer, error) { return experiments.Fig11(env, dynMachines, dynHours) })
+	section("fig12", func() (fmt.Stringer, error) { return experiments.Fig12(env, dynMachines, dynHours) })
+	section("storage", func() (fmt.Stringer, error) { return experiments.StorageStudy(env) })
+	if *spotcheck {
+		section("spotcheck", func() (fmt.Stringer, error) { return experiments.SpotCheck10k(env, 2) })
+	}
+
+	fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,100 @@
+// Command traconprofile runs TRACON's profiling and modeling pipeline and
+// reports what the manager learns: each benchmark's solo characteristics
+// (the four Table 2 features), the cross-validated prediction error of the
+// chosen model family, and the full pairwise interference predictions.
+//
+// Examples:
+//
+//	traconprofile                  # NLM models, all benchmarks
+//	traconprofile -model wmm       # the weighted mean method instead
+//	traconprofile -pairs           # also print the prediction matrix
+//	traconprofile -storage iscsi   # profile on remote storage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tracon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traconprofile: ")
+
+	var (
+		modelKind = flag.String("model", "nlm", "interference model: wmm, lm, nlm")
+		storage   = flag.String("storage", "hdd", "device: hdd, iscsi, ssd")
+		pairs     = flag.Bool("pairs", false, "print the pairwise predicted-slowdown matrix")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	sys, err := tracon.New(tracon.Config{
+		Model:   tracon.ModelKind(*modelKind),
+		Storage: tracon.Storage(*storage),
+		Seed:    *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "profiling 8 benchmarks × 125 synthetic workloads...")
+	if err := sys.RegisterBenchmarks(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	apps := sys.Apps()
+	fmt.Printf("Model family: %s, storage: %s\n\n", *modelKind, *storage)
+	fmt.Printf("%-10s %12s %16s %16s\n", "app", "solo rt (s)", "rt err (CV)", "iops err (CV)")
+	for _, app := range apps {
+		solo, err := sys.SoloRuntime(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rtMean, rtStd, err := sys.ModelError(app, tracon.MinRuntime)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ioMean, ioStd, err := sys.ModelError(app, tracon.MaxIOPS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.0f %8.1f%% ± %4.1f %8.1f%% ± %4.1f\n",
+			app, solo, rtMean*100, rtStd*100, ioMean*100, ioStd*100)
+	}
+
+	if *pairs {
+		fmt.Printf("\nPredicted slowdown of ROW when co-located with COLUMN:\n%-10s", "")
+		for _, b := range apps {
+			fmt.Printf(" %9s", trunc(b, 9))
+		}
+		fmt.Println()
+		for _, a := range apps {
+			fmt.Printf("%-10s", a)
+			solo, err := sys.SoloRuntime(a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, b := range apps {
+				p, err := sys.PredictRuntime(a, b)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %9.2f", p/solo)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

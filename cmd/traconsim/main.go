@@ -1,0 +1,98 @@
+// Command traconsim runs one TRACON data-center simulation: it brings up
+// the testbed, profiles the eight Table 3 benchmarks, trains the chosen
+// interference models and simulates a cluster under the chosen scheduling
+// policy, reporting the paper's metrics (and the FIFO comparison).
+//
+// Examples:
+//
+//	traconsim -machines 64 -policy mibs -queue 8 -lambda 20 -hours 10
+//	traconsim -static -machines 16 -policy mibs -objective iops
+//	traconsim -policy mix -mix heavy -model lm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tracon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traconsim: ")
+
+	var (
+		machines  = flag.Int("machines", 64, "physical machines (2 VMs each)")
+		policy    = flag.String("policy", "mibs", "scheduler: fifo, mios, mibs, mix")
+		queue     = flag.Int("queue", 8, "batch queue length for mibs/mix")
+		objective = flag.String("objective", "runtime", "objective: runtime or iops")
+		lambda    = flag.Float64("lambda", 20, "dynamic arrival rate (tasks/minute)")
+		hours     = flag.Float64("hours", 10, "dynamic horizon in hours")
+		mix       = flag.String("mix", "medium", "workload mix: light, medium, heavy")
+		modelKind = flag.String("model", "nlm", "interference model: wmm, lm, nlm")
+		static    = flag.Bool("static", false, "static scenario (one task per VM) instead of Poisson arrivals")
+		oracle    = flag.Bool("oracle", false, "use ground-truth predictions (upper bound)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		noCompare = flag.Bool("nocompare", false, "skip the FIFO baseline run")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "bringing up TRACON (profiling + model training)...")
+	sys, err := tracon.New(tracon.Config{
+		Model: tracon.ModelKind(*modelKind),
+		Seed:  *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.RegisterBenchmarks(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	p := tracon.Policy{
+		Name:      *policy,
+		QueueLen:  *queue,
+		Objective: tracon.Objective(*objective),
+		Oracle:    *oracle,
+	}
+
+	run := func(pol tracon.Policy) tracon.Report {
+		var rep tracon.Report
+		var err error
+		if *static {
+			rep, err = sys.RunStaticMix(pol, *machines, nil, tracon.Mix(*mix))
+		} else {
+			rep, err = sys.RunDynamic(pol, *machines, *lambda, *hours, tracon.Mix(*mix))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	rep := run(p)
+	printReport(rep)
+
+	if !*noCompare && p.Name != "fifo" {
+		fifo := run(tracon.Policy{Name: "fifo"})
+		fmt.Println()
+		printReport(fifo)
+		fmt.Println()
+		fmt.Printf("Speedup (eq. 5):               %.3f\n", tracon.Speedup(fifo, rep))
+		fmt.Printf("IOBoost (eq. 6):               %.3f\n", tracon.IOBoost(fifo, rep))
+		fmt.Printf("Normalized throughput (4.7):   %.3f\n", tracon.NormalizedThroughput(fifo, rep))
+	}
+	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func printReport(r tracon.Report) {
+	fmt.Printf("scheduler %s on %d machines (%d VMs)\n", r.Scheduler, r.Machines, 2*r.Machines)
+	fmt.Printf("  submitted %d, completed %d (horizon %.0fs)\n", r.Submitted, r.Completed, r.Horizon)
+	fmt.Printf("  total runtime %.0fs, mean runtime %.0fs, mean wait %.0fs\n", r.TotalRuntime, r.MeanRuntime, r.MeanWait)
+	fmt.Printf("  total IOPS %.1f\n", r.TotalIOPS)
+}

@@ -1,0 +1,3 @@
+module tracon
+
+go 1.22

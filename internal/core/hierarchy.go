@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"tracon/internal/sched"
+	"tracon/internal/sim"
+)
+
+// The paper's deployment (Sec. 3) organizes application servers under a
+// tree of manager servers for scalability. This file implements that
+// hierarchy for the simulator: a large cluster is partitioned into groups,
+// each group is supervised by its own scheduler instance, and arriving
+// tasks are spread round-robin across groups — so a 10,000-machine run is
+// ten independent 1,000-machine problems, exactly the property the
+// hierarchy exists to provide. Groups simulate concurrently.
+
+// PartitionedResults aggregates a hierarchical simulation.
+type PartitionedResults struct {
+	// Groups holds each manager's local results.
+	Groups []*sim.Results
+	// Scheduler is the policy name.
+	Scheduler string
+	// CompletedCount, TotalRuntime, TotalIOPS and Submitted are summed
+	// across groups.
+	CompletedCount int
+	TotalRuntime   float64
+	TotalIOPS      float64
+	Submitted      int
+	// Horizon is the simulated duration.
+	Horizon float64
+}
+
+// Throughput returns total completed tasks (T_S of Sec. 4.7).
+func (r *PartitionedResults) Throughput() float64 { return float64(r.CompletedCount) }
+
+// SimulatePartitioned runs a hierarchical simulation: totalMachines are
+// split evenly into groups, tasks are routed round-robin, and each group
+// is scheduled independently by its own instance of the policy.
+func (c *Controller) SimulatePartitioned(spec SchedulerSpec, totalMachines, groups int, tasks []sched.Task, horizon float64) (*PartitionedResults, error) {
+	if groups <= 0 {
+		return nil, fmt.Errorf("core: need at least one group")
+	}
+	if totalMachines < groups {
+		return nil, fmt.Errorf("core: %d machines cannot form %d groups", totalMachines, groups)
+	}
+	if totalMachines%groups != 0 {
+		return nil, fmt.Errorf("core: %d machines do not split evenly into %d groups", totalMachines, groups)
+	}
+	table, err := c.InterferenceTable()
+	if err != nil {
+		return nil, err
+	}
+	perGroup := totalMachines / groups
+
+	// Round-robin routing at the root manager.
+	routed := make([][]sched.Task, groups)
+	for i, t := range tasks {
+		g := i % groups
+		routed[g] = append(routed[g], t)
+	}
+	if horizon <= 0 {
+		horizon = math.Inf(1)
+	}
+
+	out := &PartitionedResults{Groups: make([]*sim.Results, groups), Horizon: horizon}
+	errs := make([]error, groups)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, err := c.NewScheduler(spec)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			eng, err := sim.NewEngine(sim.Config{
+				Machines:    perGroup,
+				Scheduler:   s,
+				Table:       table,
+				DropRecords: true,
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			out.Groups[g], errs[g] = eng.Run(routed[g], horizon)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range out.Groups {
+		out.Scheduler = r.Scheduler
+		out.CompletedCount += r.CompletedCount
+		out.TotalRuntime += r.TotalRuntime
+		out.TotalIOPS += r.TotalIOPS
+		out.Submitted += r.Submitted
+	}
+	return out, nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

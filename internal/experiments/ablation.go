@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"tracon/internal/model"
+	"tracon/internal/sched"
+	"tracon/internal/sim"
+	"tracon/internal/workload"
+)
+
+// RunStaticPublic exposes the static-batch runner for the ablation benches
+// in the repository root.
+func (e *Env) RunStaticPublic(s sched.Scheduler, machines int, tasks []sched.Task) (*sim.Results, error) {
+	return e.runStatic(s, machines, tasks)
+}
+
+// RunQueueLength runs MIBS with the given queue length under Poisson
+// arrivals and returns its throughput normalized to FIFO on the same
+// arrivals — the ablation behind Figs 10/12 extended to arbitrary q
+// (q = 1 degenerates to head-only batching, close to MIOS).
+func RunQueueLength(e *Env, q, machines int, lambda, horizon float64) (float64, error) {
+	tasks := poissonTasks(workload.MediumIO, lambda, horizon, e.Seed+int64(q)*37)
+	fifo, err := e.runDynamic(sched.FIFO{}, machines, tasks, horizon)
+	if err != nil {
+		return 0, err
+	}
+	mibs, err := e.runDynamic(&sched.MIBS{
+		Scorer:   e.scorerFor(model.NLM, sched.MinRuntime, false),
+		QueueLen: q,
+	}, machines, tasks, horizon)
+	if err != nil {
+		return 0, err
+	}
+	if fifo.Throughput() == 0 {
+		return 0, nil
+	}
+	return mibs.Throughput() / fifo.Throughput(), nil
+}
+
+// StaticTasksPublic exposes the deterministic static task generator for
+// the ablation benches and diagnostics.
+func StaticTasksPublic(mix workload.IOIntensity, n int, seed int64) []sched.Task {
+	return staticTasks(mix, n, seed)
+}
+
+// PoissonTasksPublic exposes the Poisson arrival generator for diagnostics
+// and ablation benches.
+func PoissonTasksPublic(mix workload.IOIntensity, lambda, horizon float64, seed int64) []sched.Task {
+	return poissonTasks(mix, lambda, horizon, seed)
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"tracon/internal/model"
+	"tracon/internal/trace"
+)
+
+// Table renderers: every experiment result can be exported as CSV via
+// internal/trace (the traconbench -csv flag).
+
+// Table implements trace.Tabular.
+func (r *Table1Result) Table() trace.Table {
+	t := trace.Table{Header: append([]string{"app"}, r.Columns...)}
+	for _, name := range []string{"calc", "seqread"} {
+		row := []string{name}
+		for _, v := range r.Rows[name] {
+			row = append(row, trace.F(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *Fig3Result) Table() trace.Table {
+	t := trace.Table{Header: []string{"response", "app", "model", "mean_err", "stddev"}}
+	for _, resp := range []model.Response{model.Runtime, model.IOPS} {
+		for _, app := range r.Apps {
+			for _, k := range r.Kinds {
+				c := r.Cells[resp][app][k]
+				t.Rows = append(t.Rows, []string{
+					resp.String(), app, k.String(), trace.F(c.Mean), trace.F(c.Stddev),
+				})
+			}
+		}
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *Fig4Result) Table() trace.Table {
+	t := trace.Table{Header: []string{"model", "speedup_mean", "speedup_std", "ioboost_mean", "ioboost_std"}}
+	for _, k := range r.Kinds {
+		sp, io := r.Speedup[k], r.IOBoost[k]
+		t.Rows = append(t.Rows, []string{
+			k.String(), trace.F(sp.Mean), trace.F(sp.Stddev), trace.F(io.Mean), trace.F(io.Stddev),
+		})
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *Fig5Result) Table() trace.Table {
+	t := trace.Table{Header: []string{"app", "predicted_min", "measured_min", "measured_avg", "measured_max"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.App, trace.F(row.PredictedMin), trace.F(row.MeasuredMin),
+			trace.F(row.MeasuredAvg), trace.F(row.MeasuredMax),
+		})
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *Fig6Result) Table() trace.Table {
+	t := trace.Table{Header: []string{"app", "predicted_max", "measured_min", "measured_avg", "measured_max"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.App, trace.F(row.PredictedMax), trace.F(row.MeasuredMin),
+			trace.F(row.MeasuredAvg), trace.F(row.MeasuredMax),
+		})
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *Fig7Result) Table() trace.Table {
+	t := trace.Table{Header: []string{"observation", "adapt_rt_err", "adapt_io_err", "control_rt_err", "control_io_err"}}
+	for i, p := range r.Adapting {
+		row := []string{trace.I(p.Observation), trace.F(p.RuntimeErr), trace.F(p.IOPSErr), "", ""}
+		if i < len(r.Control) {
+			row[3] = trace.F(r.Control[i].RuntimeErr)
+			row[4] = trace.F(r.Control[i].IOPSErr)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *Fig8Result) Table() trace.Table {
+	t := trace.Table{Header: []string{"machines", "mix", "speedup_rt", "speedup_io", "ioboost"}}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			trace.I(c.Machines), c.Mix.String(), trace.F(c.SpeedupRT), trace.F(c.SpeedupIO), trace.F(c.IOBoost),
+		})
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *DynamicResult) Table() trace.Table {
+	t := trace.Table{Header: []string{"machines", "mix", "lambda_per_min", "scheduler", "throughput", "normalized"}}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			trace.I(c.Machines), c.Mix.String(), trace.F(c.Lambda), c.Scheduler,
+			trace.F(c.Throughput), trace.F(c.Normalized),
+		})
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *StorageStudyResult) Table() trace.Table {
+	t := trace.Table{Header: []string{"device", "seqread_vs_iohigh", "mibs_speedup", "energy_saving"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Device, trace.F(row.SeqReadVsIOHigh), trace.F(row.MIBSSpeedup), trace.F(row.EnergySaving),
+		})
+	}
+	return t
+}
+
+// Table implements trace.Tabular.
+func (r *SpotCheckResult) Table() trace.Table {
+	return trace.Table{
+		Header: []string{"machines", "lambda_per_min", "groups", "horizon_hours", "fifo_completed", "mibs8_completed", "normalized"},
+		Rows: [][]string{{
+			trace.I(r.Machines), trace.F(r.Lambda), trace.I(r.Groups), trace.F(r.HorizonHours),
+			trace.F(r.FIFO), trace.F(r.MIBS8), trace.F(r.Normalized),
+		}},
+	}
+}

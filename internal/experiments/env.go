@@ -1,0 +1,190 @@
+// Package experiments reproduces every table and figure of the TRACON
+// paper's evaluation (Sec. 4). Each experiment is a pure function of a
+// shared Env (the expensive artifacts: profiled training sets, trained
+// model libraries, the measured interference table) and returns a
+// structured result with a text renderer, so the same code backs the
+// traconbench CLI, the benchmark harness and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tracon/internal/model"
+	"tracon/internal/sched"
+	"tracon/internal/sim"
+	"tracon/internal/workload"
+	"tracon/internal/xen"
+)
+
+// Env holds the shared expensive artifacts of the evaluation.
+type Env struct {
+	Host *xen.Host
+	TB   *xen.Testbed
+
+	Benchmarks  []workload.Benchmark
+	Backgrounds []xen.AppSpec
+
+	TrainingSets map[string]*model.TrainingSet
+	Solo         map[string]xen.SoloProfile
+
+	// Libraries holds one trained library per model family.
+	Libraries map[model.Kind]*model.Library
+
+	Table  *sim.InterferenceTable
+	Oracle *model.Oracle
+
+	Seed int64
+}
+
+// NewEnv measures, profiles and trains everything once. With the default
+// settings this takes a few seconds.
+func NewEnv(seed int64) (*Env, error) {
+	hostCfg := xen.DefaultHost()
+	host, err := xen.NewHost(hostCfg)
+	if err != nil {
+		return nil, err
+	}
+	tb := xen.NewTestbed(host, 3, 0.05, seed)
+
+	e := &Env{
+		Host:         host,
+		TB:           tb,
+		Benchmarks:   workload.Benchmarks(),
+		TrainingSets: map[string]*model.TrainingSet{},
+		Solo:         map[string]xen.SoloProfile{},
+		Libraries:    map[model.Kind]*model.Library{},
+		Seed:         seed,
+	}
+	for _, w := range workload.ProfilingWorkloads(hostCfg.Disk) {
+		e.Backgrounds = append(e.Backgrounds, w.Spec)
+	}
+
+	prof := &model.Profiler{TB: tb}
+	var specs []xen.AppSpec
+	for _, b := range e.Benchmarks {
+		ts, err := prof.Profile(b.Spec, e.Backgrounds)
+		if err != nil {
+			return nil, err
+		}
+		solo, err := tb.ProfileSolo(b.Spec)
+		if err != nil {
+			return nil, err
+		}
+		e.TrainingSets[b.Spec.Name] = ts
+		e.Solo[b.Spec.Name] = solo
+		specs = append(specs, b.Spec)
+	}
+	for _, k := range []model.Kind{model.WMM, model.LM, model.NLM} {
+		lib := model.NewLibrary(k)
+		for _, b := range e.Benchmarks {
+			if err := lib.Add(e.TrainingSets[b.Spec.Name], e.Solo[b.Spec.Name]); err != nil {
+				return nil, err
+			}
+		}
+		e.Libraries[k] = lib
+	}
+	e.Table, err = sim.BuildInterferenceTable(host, specs)
+	if err != nil {
+		return nil, err
+	}
+	e.Oracle = model.NewOracle(tb, specs)
+	return e, nil
+}
+
+// newScheduler builds a policy instance over the given predictor.
+func newScheduler(policy string, q int, scorer *sched.Scorer) (sched.Scheduler, error) {
+	switch policy {
+	case "fifo":
+		return sched.FIFO{}, nil
+	case "mios":
+		return &sched.MIOS{Scorer: scorer}, nil
+	case "mibs":
+		return &sched.MIBS{Scorer: scorer, QueueLen: q}, nil
+	case "mix":
+		return &sched.MIX{Scorer: scorer, QueueLen: q}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", policy)
+	}
+}
+
+// staticTasks draws n tasks from the mix, deterministically for the seed.
+func staticTasks(mix workload.IOIntensity, n int, seed int64) []sched.Task {
+	mixer := workload.NewMixer(seed)
+	batch := mixer.Batch(mix, n)
+	tasks := make([]sched.Task, n)
+	for i, spec := range batch {
+		tasks[i] = sched.Task{ID: int64(i), App: workload.BaseName(spec.Name)}
+	}
+	return tasks
+}
+
+// uniformTasks draws n tasks uniformly over the eight benchmarks.
+func uniformTasks(n int, seed int64) []sched.Task {
+	mixer := workload.NewMixer(seed)
+	batch := mixer.UniformBatch(n)
+	tasks := make([]sched.Task, n)
+	for i, spec := range batch {
+		tasks[i] = sched.Task{ID: int64(i), App: workload.BaseName(spec.Name)}
+	}
+	return tasks
+}
+
+// poissonTasks draws Poisson arrivals at lambda tasks/minute over horizon
+// seconds, app types from the mix.
+func poissonTasks(mix workload.IOIntensity, lambda, horizon float64, seed int64) []sched.Task {
+	rng := rand.New(rand.NewSource(seed))
+	times := workload.Arrivals(rng, lambda, horizon)
+	mixer := workload.NewMixer(seed + 7919)
+	tasks := make([]sched.Task, len(times))
+	for i, tm := range times {
+		tasks[i] = sched.Task{ID: int64(i), App: workload.BaseName(mixer.Draw(mix).Spec.Name), Arrival: tm}
+	}
+	return tasks
+}
+
+// runStatic executes a static batch to completion.
+func (e *Env) runStatic(s sched.Scheduler, machines int, tasks []sched.Task) (*sim.Results, error) {
+	eng, err := sim.NewEngine(sim.Config{
+		Machines:    machines,
+		Scheduler:   s,
+		Table:       e.Table,
+		DropRecords: len(tasks) > 200000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(tasks, math.Inf(1))
+}
+
+// runDynamic executes Poisson arrivals until the horizon.
+func (e *Env) runDynamic(s sched.Scheduler, machines int, tasks []sched.Task, horizon float64) (*sim.Results, error) {
+	eng, err := sim.NewEngine(sim.Config{
+		Machines:    machines,
+		Scheduler:   s,
+		Table:       e.Table,
+		DropRecords: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(tasks, horizon)
+}
+
+// scorerFor builds a scorer over a trained library (or the oracle).
+func (e *Env) scorerFor(kind model.Kind, obj sched.Objective, oracle bool) *sched.Scorer {
+	if oracle {
+		return sched.NewScorer(e.Oracle, obj)
+	}
+	return sched.NewScorer(e.Libraries[kind], obj)
+}
+
+// BenchmarkNames returns the application names in Table 3 order.
+func (e *Env) BenchmarkNames() []string {
+	out := make([]string, len(e.Benchmarks))
+	for i, b := range e.Benchmarks {
+		out[i] = b.Spec.Name
+	}
+	return out
+}

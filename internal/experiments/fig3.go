@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tracon/internal/model"
+)
+
+// Fig3Cell is one bar of Fig 3: a model family's cross-validated
+// prediction error on one benchmark.
+type Fig3Cell struct {
+	Mean, Stddev float64
+}
+
+// Fig3Result reproduces Fig 3(a) and 3(b): prediction errors of WMM, LM
+// and NLM per benchmark for both responses, plus the paper's own ablation
+// (NLM without the global Dom0 CPU characteristic).
+type Fig3Result struct {
+	Apps  []string
+	Kinds []model.Kind
+	// Cells[response][app][kind].
+	Cells map[model.Response]map[string]map[model.Kind]Fig3Cell
+}
+
+// fig3Kinds are the plotted families; NLMNoDom0 is the ablation the text
+// discusses ("without it, NLM would have much larger prediction errors").
+var fig3Kinds = []model.Kind{model.WMM, model.LM, model.NLM, model.NLMNoDom0}
+
+// Fig3 cross-validates every family on every benchmark (5-fold).
+func Fig3(e *Env) (*Fig3Result, error) {
+	res := &Fig3Result{
+		Apps:  e.BenchmarkNames(),
+		Kinds: fig3Kinds,
+		Cells: map[model.Response]map[string]map[model.Kind]Fig3Cell{},
+	}
+	for _, resp := range []model.Response{model.Runtime, model.IOPS} {
+		res.Cells[resp] = map[string]map[model.Kind]Fig3Cell{}
+		for _, app := range res.Apps {
+			res.Cells[resp][app] = map[model.Kind]Fig3Cell{}
+			for _, k := range fig3Kinds {
+				errs, err := model.CrossValidate(e.TrainingSets[app], k, resp, 5)
+				if err != nil {
+					return nil, fmt.Errorf("fig3 %s/%v: %w", app, k, err)
+				}
+				m, s := model.ErrorSummary(errs)
+				res.Cells[resp][app][k] = Fig3Cell{Mean: m, Stddev: s}
+			}
+		}
+	}
+	return res, nil
+}
+
+// MeanError averages a family's error over all benchmarks for a response.
+func (r *Fig3Result) MeanError(resp model.Response, k model.Kind) float64 {
+	sum := 0.0
+	for _, app := range r.Apps {
+		sum += r.Cells[resp][app][k].Mean
+	}
+	return sum / float64(len(r.Apps))
+}
+
+// String renders both panels.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	for _, resp := range []model.Response{model.Runtime, model.IOPS} {
+		panel := "a"
+		if resp == model.IOPS {
+			panel = "b"
+		}
+		fmt.Fprintf(&b, "Fig 3(%s): %s prediction error (mean ± stddev, %%)\n", panel, resp)
+		fmt.Fprintf(&b, "%-10s", "app")
+		for _, k := range r.Kinds {
+			fmt.Fprintf(&b, " %16s", k)
+		}
+		b.WriteByte('\n')
+		for _, app := range r.Apps {
+			fmt.Fprintf(&b, "%-10s", app)
+			for _, k := range r.Kinds {
+				c := r.Cells[resp][app][k]
+				fmt.Fprintf(&b, "   %5.1f ± %5.1f ", c.Mean*100, c.Stddev*100)
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%-10s", "MEAN")
+		for _, k := range r.Kinds {
+			fmt.Fprintf(&b, "   %5.1f         ", r.MeanError(resp, k)*100)
+		}
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tracon/internal/model"
+	"tracon/internal/xen"
+)
+
+// Fig5Row is one application of Fig 5: NLM's predicted minimum runtime
+// against the measured minimum, average and maximum runtimes across all
+// possible co-runners.
+type Fig5Row struct {
+	App          string
+	PredictedMin float64
+	MeasuredMin  float64
+	MeasuredAvg  float64
+	MeasuredMax  float64
+}
+
+// Fig5Result reproduces Fig 5.
+type Fig5Result struct{ Rows []Fig5Row }
+
+// Fig6Row is one application of Fig 6: NLM's predicted maximum IOPS
+// against measured min/avg/max across co-runners.
+type Fig6Row struct {
+	App          string
+	PredictedMax float64
+	MeasuredMin  float64
+	MeasuredAvg  float64
+	MeasuredMax  float64
+}
+
+// Fig6Result reproduces Fig 6.
+type Fig6Result struct{ Rows []Fig6Row }
+
+// corunSteady measures target's steady behaviour beside each possible
+// co-runner (the "runs concurrently with other applications" setting).
+func corunSteady(e *Env, target xen.AppSpec) (runtimes, iops []float64, err error) {
+	for _, other := range e.Benchmarks {
+		peer := other.Spec
+		peer.Name += "~peer"
+		st, err := e.Host.Steady([]xen.AppSpec{target, peer})
+		if err != nil {
+			return nil, nil, err
+		}
+		runtimes = append(runtimes, st[0].Runtime)
+		iops = append(iops, st[0].IOPS)
+	}
+	return runtimes, iops, nil
+}
+
+// Fig5 compares NLM's predicted best-case runtime with measured reality.
+// The web benchmark is excluded, as in the paper (FileBench takes runtime
+// as an input).
+func Fig5(e *Env) (*Fig5Result, error) {
+	lib := e.Libraries[model.NLM]
+	res := &Fig5Result{}
+	for _, b := range e.Benchmarks {
+		if !b.HasRuntimeMetric {
+			continue
+		}
+		app := b.Spec.Name
+		predMin := math.Inf(1)
+		for _, other := range e.Benchmarks {
+			p, err := lib.PredictRuntime(app, other.Spec.Name)
+			if err != nil {
+				return nil, err
+			}
+			predMin = math.Min(predMin, p)
+		}
+		rts, _, err := corunSteady(e, b.Spec)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig5Row{App: app, PredictedMin: predMin}
+		row.MeasuredMin, row.MeasuredAvg, row.MeasuredMax = minAvgMax(rts)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig6 compares NLM's predicted best-case IOPS with measured reality.
+func Fig6(e *Env) (*Fig6Result, error) {
+	lib := e.Libraries[model.NLM]
+	res := &Fig6Result{}
+	for _, b := range e.Benchmarks {
+		app := b.Spec.Name
+		predMax := 0.0
+		for _, other := range e.Benchmarks {
+			p, err := lib.PredictIOPS(app, other.Spec.Name)
+			if err != nil {
+				return nil, err
+			}
+			predMax = math.Max(predMax, p)
+		}
+		_, ios, err := corunSteady(e, b.Spec)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig6Row{App: app, PredictedMax: predMax}
+		row.MeasuredMin, row.MeasuredAvg, row.MeasuredMax = minAvgMax(ios)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func minAvgMax(v []float64) (mn, avg, mx float64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, x := range v {
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+		sum += x
+	}
+	return mn, sum / float64(len(v)), mx
+}
+
+// String renders Fig 5.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 5: predicted minimum runtime vs measured min/avg/max (seconds)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "app", "pred-min", "min", "avg", "max")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %10.0f %10.0f %10.0f %10.0f\n",
+			row.App, row.PredictedMin, row.MeasuredMin, row.MeasuredAvg, row.MeasuredMax)
+	}
+	return b.String()
+}
+
+// String renders Fig 6.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 6: predicted maximum IOPS vs measured min/avg/max\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "app", "pred-max", "min", "avg", "max")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f %10.1f\n",
+			row.App, row.PredictedMax, row.MeasuredMin, row.MeasuredAvg, row.MeasuredMax)
+	}
+	return b.String()
+}

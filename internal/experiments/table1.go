@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tracon/internal/workload"
+	"tracon/internal/xen"
+)
+
+// Table1Result reproduces Table 1: normalized runtime of the two probe
+// applications under the four interference classes.
+type Table1Result struct {
+	// Columns are the four background classes in paper order.
+	Columns []string
+	// Rows maps probe name → normalized runtimes per column.
+	Rows map[string][]float64
+	// Paper holds the published values for side-by-side comparison.
+	Paper map[string][]float64
+}
+
+// Table1 measures the probes against each background class.
+func Table1(e *Env) (*Table1Result, error) {
+	res := &Table1Result{
+		Rows: map[string][]float64{},
+		Paper: map[string][]float64{
+			"calc":    {1.96, 1.26, 1.77, 2.52},
+			"seqread": {1.03, 10.23, 1.78, 16.11},
+		},
+	}
+	for _, bg := range workload.Table1Backgrounds() {
+		res.Columns = append(res.Columns, bg.String())
+	}
+	probes := map[string]xen.AppSpec{
+		"calc":    workload.Calc(),
+		"seqread": workload.SeqRead(),
+	}
+	for name, spec := range probes {
+		var row []float64
+		for _, bg := range workload.Table1Backgrounds() {
+			sd, err := e.TB.Slowdown(spec, bg.Spec())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, sd)
+		}
+		res.Rows[name] = row
+	}
+	return res, nil
+}
+
+// String renders the table next to the paper's numbers.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: normalized App1 runtime under App2 interference (p = paper)\n")
+	fmt.Fprintf(&b, "%-9s", "App1")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, " %16s", c)
+	}
+	b.WriteByte('\n')
+	for _, name := range []string{"calc", "seqread"} {
+		fmt.Fprintf(&b, "%-9s", name)
+		for i, v := range r.Rows[name] {
+			fmt.Fprintf(&b, " %7.2f (p%6.2f)", v, r.Paper[name][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package mat
+
+import "math"
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix a, such that a = L·Lᵀ. It returns ErrSingular if
+// a is not positive definite to working precision. The Gauss-Newton solver
+// uses it for the normal-equations path when the Jacobian is well
+// conditioned.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, ErrShape
+	}
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves a·x = b given the Cholesky factor l of a, via forward
+// then backward substitution.
+func CholeskySolve(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows()
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

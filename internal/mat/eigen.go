@@ -1,0 +1,142 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: A = V·Λ·Vᵀ.
+// Eigenvalues are sorted in descending order; Vectors column j is the
+// eigenvector for Values[j]. PCA (used by the paper's weighted-mean method)
+// consumes this directly.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// SymEigen computes the eigendecomposition of symmetric matrix a using the
+// cyclic Jacobi method. Jacobi is O(n³) per sweep, which is irrelevant for
+// the ≤ 8-dimensional covariance matrices in TRACON, and is unconditionally
+// stable for symmetric input.
+func SymEigen(a *Matrix) (*Eigen, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, ErrShape
+	}
+	// Work on a copy; accumulate rotations in v.
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*(1+w.MaxAbs()*w.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := t * cth
+				rotate(w, p, q, cth, sth)
+				rotateCols(v, p, q, cth, sth)
+			}
+		}
+	}
+
+	e := &Eigen{Values: make([]float64, n), Vectors: New(n, n)}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	sort.Slice(idx, func(x, y int) bool { return vals[idx[x]] > vals[idx[y]] })
+	for k, src := range idx {
+		e.Values[k] = vals[src]
+		for i := 0; i < n; i++ {
+			e.Vectors.Set(i, k, v.At(i, src))
+		}
+	}
+	return e, nil
+}
+
+// rotate applies a two-sided Jacobi rotation to symmetric matrix w in the
+// (p,q) plane.
+func rotate(w *Matrix, p, q int, c, s float64) {
+	n := w.Rows()
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w.At(p, j), w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+}
+
+// rotateCols applies the rotation to the eigenvector accumulator (columns
+// only; v is not symmetric).
+func rotateCols(v *Matrix, p, q int, c, s float64) {
+	n := v.Rows()
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// Covariance returns the sample covariance matrix of the rows of x
+// (observations in rows, variables in columns), using the n−1 denominator.
+func Covariance(x *Matrix) *Matrix {
+	n, p := x.Dims()
+	mu := make([]float64, p)
+	for j := 0; j < p; j++ {
+		mu[j] = Mean(x.Col(j))
+	}
+	cov := New(p, p)
+	if n < 2 {
+		return cov
+	}
+	for i := 0; i < n; i++ {
+		row := x.RawRow(i)
+		for a := 0; a < p; a++ {
+			da := row[a] - mu[a]
+			if da == 0 {
+				continue
+			}
+			for b := a; b < p; b++ {
+				cov.data[a*p+b] += da * (row[b] - mu[b])
+			}
+		}
+	}
+	inv := 1 / float64(n-1)
+	for a := 0; a < p; a++ {
+		for b := a; b < p; b++ {
+			v := cov.data[a*p+b] * inv
+			cov.data[a*p+b] = v
+			cov.data[b*p+a] = v
+		}
+	}
+	return cov
+}

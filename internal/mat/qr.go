@@ -1,0 +1,130 @@
+package mat
+
+import "math"
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+// A = Q·R with Q orthogonal (m×m, stored implicitly as reflectors) and R
+// upper triangular (n×n). It is the workhorse behind ordinary least squares
+// in the TRACON model-fitting pipeline.
+type QR struct {
+	qr   *Matrix   // packed factorization: R in the upper triangle, reflectors below
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// NewQR computes the QR factorization of a. It returns ErrSingular if a has
+// (numerically) rank-deficient columns — the caller decides whether to drop
+// predictors or use ridge regularization.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, ErrShape
+	}
+	f := &QR{qr: a.Clone(), rd: make([]float64, n), m: m, n: n}
+	d := f.qr.data
+	for k := 0; k < n; k++ {
+		// Householder reflection for column k.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, d[i*n+k])
+		}
+		if nrm == 0 {
+			return nil, ErrSingular
+		}
+		if d[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			d[i*n+k] /= nrm
+		}
+		d[k*n+k]++
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += d[i*n+k] * d[i*n+j]
+			}
+			s = -s / d[k*n+k]
+			for i := k; i < m; i++ {
+				d[i*n+j] += s * d[i*n+k]
+			}
+		}
+		f.rd[k] = -nrm
+	}
+	// Reject factors whose R diagonal is negligible relative to the matrix
+	// scale: back-substitution through them would amplify noise unboundedly.
+	scale := f.qr.MaxAbs()
+	if scale == 0 {
+		return nil, ErrSingular
+	}
+	for k := 0; k < n; k++ {
+		if math.Abs(f.rd[k]) < 1e-12*scale {
+			return nil, ErrSingular
+		}
+	}
+	return f, nil
+}
+
+// Solve returns the least-squares solution x of A·x ≈ b.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		return nil, ErrShape
+	}
+	d := f.qr.data
+	y := make([]float64, f.m)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < f.n; k++ {
+		s := 0.0
+		for i := k; i < f.m; i++ {
+			s += d[i*f.n+k] * y[i]
+		}
+		s = -s / d[k*f.n+k]
+		for i := k; i < f.m; i++ {
+			y[i] += s * d[i*f.n+k]
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, f.n)
+	for k := f.n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < f.n; j++ {
+			s -= d[k*f.n+j] * x[j]
+		}
+		x[k] = s / f.rd[k]
+	}
+	return x, nil
+}
+
+// SolveLeastSquares computes the OLS solution of a·x ≈ b in one call.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// RidgeSolve solves the Tikhonov-regularized least squares problem
+// min ‖A·x − b‖² + λ‖x‖² by augmenting the system with √λ·I rows. It is the
+// fallback used by the model fitter when the design matrix is collinear
+// (frequent with degree-2 expansions of near-constant monitor features).
+func RidgeSolve(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		panic("mat: negative ridge penalty")
+	}
+	m, n := a.Dims()
+	if len(b) != m {
+		return nil, ErrShape
+	}
+	aug := New(m+n, n)
+	for i := 0; i < m; i++ {
+		copy(aug.RawRow(i), a.RawRow(i))
+	}
+	sq := math.Sqrt(lambda)
+	for j := 0; j < n; j++ {
+		aug.Set(m+j, j, sq)
+	}
+	rhs := make([]float64, m+n)
+	copy(rhs, b)
+	return SolveLeastSquares(aug, rhs)
+}

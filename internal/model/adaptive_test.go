@@ -1,0 +1,161 @@
+package model
+
+import (
+	"testing"
+
+	"tracon/internal/workload"
+	"tracon/internal/xen"
+)
+
+// iscsiSamples builds observations of blastn on an iSCSI-backed host —
+// the Fig 7 environment change.
+func iscsiSamples(t *testing.T, n int) []Sample {
+	t.Helper()
+	cfg := xen.DefaultHost()
+	cfg.Disk = xen.ISCSI()
+	host, err := xen.NewHost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := xen.NewTestbed(host, 3, 0.05, 99)
+	prof := &Profiler{TB: tb}
+	var bgs []xen.AppSpec
+	for _, w := range workload.ProfilingWorkloads(cfg.Disk) {
+		bgs = append(bgs, w.Spec)
+	}
+	b, _ := workload.BenchmarkByName("blastn")
+	ts, err := prof.Profile(b.Spec, bgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ts.Samples
+	for len(out) < n {
+		out = append(out, ts.Samples...)
+	}
+	return out[:n]
+}
+
+func TestAdaptiveRecoversAfterEnvironmentChange(t *testing.T) {
+	tss, _ := fixture(t)
+	ad, err := NewAdaptive(tss["blastn"], NLM, DefaultAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: observations from the training environment — errors modest.
+	for _, s := range tss["blastn"].Samples[:50] {
+		if _, err := ad.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseErr := ad.RecentError(50)
+
+	// Phase 2: the storage moves to iSCSI. Errors must jump, then recover
+	// after enough observations trigger rebuilds on the new data.
+	newEnv := iscsiSamples(t, 500)
+	for _, s := range newEnv[:100] {
+		if _, err := ad.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shockErr := ad.RecentError(100)
+	if shockErr < baseErr*2 {
+		t.Fatalf("environment change should spike the error: base %v, shock %v", baseErr, shockErr)
+	}
+
+	for _, s := range newEnv[100:] {
+		if _, err := ad.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered := ad.RecentError(80)
+	if recovered > shockErr/2 {
+		t.Fatalf("adaptation failed to recover: shock %v, recovered %v", shockErr, recovered)
+	}
+	if len(ad.Rebuilds) == 0 {
+		t.Fatal("no rebuilds happened")
+	}
+}
+
+func TestAdaptiveStableEnvironmentStaysAccurate(t *testing.T) {
+	tss, _ := fixture(t)
+	ad, err := NewAdaptive(tss["blastn"], NLM, DefaultAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-observe the same environment twice over; accuracy must not degrade.
+	for round := 0; round < 2; round++ {
+		for _, s := range tss["blastn"].Samples {
+			if _, err := ad.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if e := ad.RecentError(100); e > 0.35 {
+		t.Fatalf("stable environment error drifted to %v", e)
+	}
+}
+
+func TestAdaptiveRejectsBadObservation(t *testing.T) {
+	tss, _ := fixture(t)
+	ad, err := NewAdaptive(tss["blastn"], LM, DefaultAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Observe(Sample{BG: []float64{1, 2}}); err == nil {
+		t.Fatal("short feature vector accepted")
+	}
+}
+
+func TestAdaptiveWindowBounded(t *testing.T) {
+	tss, _ := fixture(t)
+	cfg := AdaptiveConfig{WindowCap: 150, RetrainEvery: 40}
+	ad, err := NewAdaptive(tss["blastn"], LM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for _, s := range tss["blastn"].Samples {
+			if _, err := ad.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(ad.window) > 150 {
+		t.Fatalf("window grew to %d", len(ad.window))
+	}
+	if want := 3 * len(tss["blastn"].Samples); len(ad.RuntimeErrors) != want {
+		t.Fatalf("error log has %d entries, want %d", len(ad.RuntimeErrors), want)
+	}
+}
+
+type testDetector struct{ fireAt, seen int }
+
+func (d *testDetector) Observe(err float64) bool {
+	d.seen++
+	return d.seen == d.fireAt
+}
+func (d *testDetector) Reset() {}
+
+func TestAdaptiveDriftDetectorForcesEarlyRebuild(t *testing.T) {
+	tss, _ := fixture(t)
+	det := &testDetector{fireAt: 5}
+	cfg := AdaptiveConfig{WindowCap: 500, RetrainEvery: 1000, Detector: det}
+	ad, err := NewAdaptive(tss["blastn"], LM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilds := 0
+	for _, s := range tss["blastn"].Samples[:10] {
+		r, err := ad.Observe(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r {
+			rebuilds++
+		}
+	}
+	if rebuilds != 1 {
+		t.Fatalf("detector should have forced exactly one rebuild, got %d", rebuilds)
+	}
+}

@@ -1,0 +1,69 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tracon/internal/stats"
+)
+
+// PredictionError is the paper's error metric:
+// |predicted − actual| / actual.
+func PredictionError(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual)
+}
+
+// CrossValidate estimates per-sample prediction errors of a model family on
+// a training set by k-fold cross-validation (deterministic round-robin fold
+// assignment): each fold is held out, a model is trained on the rest, and
+// held-out samples are predicted. The returned slice has one relative error
+// per sample, in sample order.
+func CrossValidate(ts *TrainingSet, k Kind, r Response, folds int) ([]float64, error) {
+	n := len(ts.Samples)
+	if folds < 2 {
+		return nil, fmt.Errorf("model: need at least 2 folds, got %d", folds)
+	}
+	if folds > n {
+		folds = n
+	}
+	errs := make([]float64, n)
+	for fold := 0; fold < folds; fold++ {
+		train := &TrainingSet{App: ts.App, Features: ts.Features}
+		var heldOut []int
+		for i, s := range ts.Samples {
+			if i%folds == fold {
+				heldOut = append(heldOut, i)
+			} else {
+				train.Samples = append(train.Samples, s)
+			}
+		}
+		m, err := Train(train, k)
+		if err != nil {
+			return nil, fmt.Errorf("model: CV fold %d: %w", fold, err)
+		}
+		for _, i := range heldOut {
+			s := ts.Samples[i]
+			var pred, actual float64
+			if r == Runtime {
+				pred, actual = m.PredictRuntime(s.BG), s.Runtime
+			} else {
+				pred, actual = m.PredictIOPS(s.BG), s.IOPS
+			}
+			errs[i] = PredictionError(pred, actual)
+		}
+	}
+	return errs, nil
+}
+
+// ErrorSummary condenses a CV error vector the way Fig 3 reports it:
+// average prediction error with its standard deviation.
+func ErrorSummary(errs []float64) (mean, stddev float64) {
+	s := stats.Summarize(errs)
+	return s.Mean, s.Stddev
+}

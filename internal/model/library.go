@@ -1,0 +1,261 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"tracon/internal/xen"
+)
+
+// Predictor is what the interference-aware schedulers consume: given a
+// target application and the application currently occupying the other VM
+// of a candidate machine (empty string = idle), predict the target's
+// runtime or throughput. Implementations: Library (trained models, the
+// TRACON path) and Oracle (ground truth, an upper-bound ablation).
+type Predictor interface {
+	// PredictRuntime returns the expected runtime of target when co-located
+	// with corunner ("" for an idle neighbour).
+	PredictRuntime(target, corunner string) (float64, error)
+	// PredictIOPS returns the expected throughput of target likewise.
+	PredictIOPS(target, corunner string) (float64, error)
+	// SoloRuntime returns target's no-interference runtime estimate.
+	SoloRuntime(target string) (float64, error)
+	// SoloIOPS returns target's no-interference throughput estimate.
+	SoloIOPS(target string) (float64, error)
+	// Apps lists the applications the predictor knows.
+	Apps() []string
+}
+
+// Library holds one trained AppModel per application plus the solo
+// characteristics needed to describe each application as a co-runner.
+type Library struct {
+	Kind     Kind
+	models   map[string]*AppModel
+	features map[string][]float64
+	soloRT   map[string]float64
+	soloIO   map[string]float64
+}
+
+// NewLibrary creates an empty library of the given family.
+func NewLibrary(k Kind) *Library {
+	return &Library{
+		Kind:     k,
+		models:   map[string]*AppModel{},
+		features: map[string][]float64{},
+		soloRT:   map[string]float64{},
+		soloIO:   map[string]float64{},
+	}
+}
+
+// Add trains a model from ts and registers the application. solo is the
+// application's measured solo profile.
+func (l *Library) Add(ts *TrainingSet, solo xen.SoloProfile) error {
+	m, err := Train(ts, l.Kind)
+	if err != nil {
+		return fmt.Errorf("model: training %s/%v: %w", ts.App, l.Kind, err)
+	}
+	l.models[ts.App] = m
+	l.features[ts.App] = append([]float64(nil), ts.Features...)
+	l.soloRT[ts.App] = solo.Runtime
+	l.soloIO[ts.App] = solo.IOPS
+	return nil
+}
+
+// Replace swaps in an externally trained model (used by the adaptive path).
+func (l *Library) Replace(app string, m *AppModel) error {
+	if _, ok := l.models[app]; !ok {
+		return fmt.Errorf("model: unknown app %q", app)
+	}
+	l.models[app] = m
+	return nil
+}
+
+// Features returns an application's solo characteristics vector.
+func (l *Library) Features(app string) ([]float64, error) {
+	f, ok := l.features[app]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown app %q", app)
+	}
+	return f, nil
+}
+
+// Model returns the trained model for app.
+func (l *Library) Model(app string) (*AppModel, error) {
+	m, ok := l.models[app]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown app %q", app)
+	}
+	return m, nil
+}
+
+// Apps returns the registered application names, sorted.
+func (l *Library) Apps() []string {
+	out := make([]string, 0, len(l.models))
+	for a := range l.models {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PredictRuntime implements Predictor.
+func (l *Library) PredictRuntime(target, corunner string) (float64, error) {
+	m, ok := l.models[target]
+	if !ok {
+		return 0, fmt.Errorf("model: unknown target %q", target)
+	}
+	bg, err := l.corunnerFeatures(corunner)
+	if err != nil {
+		return 0, err
+	}
+	return m.PredictRuntime(bg), nil
+}
+
+// PredictIOPS implements Predictor.
+func (l *Library) PredictIOPS(target, corunner string) (float64, error) {
+	m, ok := l.models[target]
+	if !ok {
+		return 0, fmt.Errorf("model: unknown target %q", target)
+	}
+	bg, err := l.corunnerFeatures(corunner)
+	if err != nil {
+		return 0, err
+	}
+	return m.PredictIOPS(bg), nil
+}
+
+// SoloRuntime implements Predictor.
+func (l *Library) SoloRuntime(target string) (float64, error) {
+	rt, ok := l.soloRT[target]
+	if !ok {
+		return 0, fmt.Errorf("model: unknown target %q", target)
+	}
+	return rt, nil
+}
+
+// SoloIOPS returns the measured no-interference throughput.
+func (l *Library) SoloIOPS(target string) (float64, error) {
+	io, ok := l.soloIO[target]
+	if !ok {
+		return 0, fmt.Errorf("model: unknown target %q", target)
+	}
+	return io, nil
+}
+
+func (l *Library) corunnerFeatures(corunner string) ([]float64, error) {
+	if corunner == "" {
+		return zeroFeatures(), nil
+	}
+	f, ok := l.features[corunner]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown corunner %q", corunner)
+	}
+	return f, nil
+}
+
+// BuildLibrary profiles and trains models for every target application
+// against the given background workloads — the full TRACON bring-up
+// pipeline. This is the expensive call (apps × backgrounds measurements);
+// experiments build one library per model family and reuse it.
+func BuildLibrary(tb *xen.Testbed, targets []xen.AppSpec, backgrounds []xen.AppSpec, k Kind) (*Library, error) {
+	lib := NewLibrary(k)
+	prof := &Profiler{TB: tb}
+	for _, t := range targets {
+		ts, err := prof.Profile(t, backgrounds)
+		if err != nil {
+			return nil, err
+		}
+		solo, err := tb.ProfileSolo(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := lib.Add(ts, solo); err != nil {
+			return nil, err
+		}
+	}
+	return lib, nil
+}
+
+// Oracle is a ground-truth Predictor backed directly by the host
+// simulator. It is the upper bound a perfect interference model would
+// reach, used by the scheduler-ablation benches.
+type Oracle struct {
+	tb    *xen.Testbed
+	specs map[string]xen.AppSpec
+}
+
+// NewOracle builds an oracle over the given applications.
+func NewOracle(tb *xen.Testbed, apps []xen.AppSpec) *Oracle {
+	m := make(map[string]xen.AppSpec, len(apps))
+	for _, a := range apps {
+		m[a.Name] = a
+	}
+	return &Oracle{tb: tb, specs: m}
+}
+
+// PredictRuntime implements Predictor with a true co-run solve.
+func (o *Oracle) PredictRuntime(target, corunner string) (float64, error) {
+	st, err := o.steady(target, corunner)
+	if err != nil {
+		return 0, err
+	}
+	return st.Runtime, nil
+}
+
+// PredictIOPS implements Predictor with a true co-run solve.
+func (o *Oracle) PredictIOPS(target, corunner string) (float64, error) {
+	st, err := o.steady(target, corunner)
+	if err != nil {
+		return 0, err
+	}
+	return st.IOPS, nil
+}
+
+// SoloRuntime implements Predictor.
+func (o *Oracle) SoloRuntime(target string) (float64, error) {
+	st, err := o.steady(target, "")
+	if err != nil {
+		return 0, err
+	}
+	return st.Runtime, nil
+}
+
+// SoloIOPS implements Predictor.
+func (o *Oracle) SoloIOPS(target string) (float64, error) {
+	st, err := o.steady(target, "")
+	if err != nil {
+		return 0, err
+	}
+	return st.IOPS, nil
+}
+
+// Apps implements Predictor.
+func (o *Oracle) Apps() []string {
+	out := make([]string, 0, len(o.specs))
+	for a := range o.specs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (o *Oracle) steady(target, corunner string) (xen.AppSteady, error) {
+	t, ok := o.specs[target]
+	if !ok {
+		return xen.AppSteady{}, fmt.Errorf("model: oracle: unknown target %q", target)
+	}
+	apps := []xen.AppSpec{t}
+	if corunner != "" {
+		c, ok := o.specs[corunner]
+		if !ok {
+			return xen.AppSteady{}, fmt.Errorf("model: oracle: unknown corunner %q", corunner)
+		}
+		c.Name = c.Name + "-bg"
+		apps = append(apps, c)
+	}
+	st, err := o.tb.Host().Steady(apps)
+	if err != nil {
+		return xen.AppSteady{}, err
+	}
+	return st[0], nil
+}

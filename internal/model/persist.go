@@ -1,0 +1,155 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tracon/internal/stats"
+)
+
+// Model persistence: a production TRACON manager trains models once and
+// serves them across restarts. The regression-backed families (LM, NLM and
+// the ablation variant) serialize to JSON; the instance-based families
+// (WMM, Forest) carry their whole training set by construction and are
+// cheap to retrain at startup, so persisting them would just duplicate the
+// profile store — Save reports this explicitly.
+
+// savedModel is the on-disk form of an AppModel.
+type savedModel struct {
+	App         string   `json:"app"`
+	Kind        string   `json:"kind"`
+	SoloRuntime float64  `json:"solo_runtime"`
+	SoloIOPS    float64  `json:"solo_iops"`
+	Runtime     savedFit `json:"runtime"`
+	IOPS        savedFit `json:"iops"`
+}
+
+type savedFit struct {
+	Cols      []int       `json:"cols"`
+	Intercept float64     `json:"intercept"`
+	Terms     []savedTerm `json:"terms"`
+	Coef      []float64   `json:"coef"`
+	Lo        float64     `json:"lo"`
+	Hi        float64     `json:"hi"`
+	Clamping  bool        `json:"clamping"`
+}
+
+type savedTerm struct {
+	I int `json:"i"`
+	J int `json:"j"`
+}
+
+// ErrNotPersistable is returned when a model family does not support
+// serialization (retrain it from the stored profile instead).
+var ErrNotPersistable = fmt.Errorf("model: this family is instance-based; retrain from the profile")
+
+// Save serializes the model as JSON.
+func (m *AppModel) Save(w io.Writer) error {
+	rt, ok := m.runtime.(*fitPredictor)
+	if !ok {
+		return fmt.Errorf("%w (%v)", ErrNotPersistable, m.Kind)
+	}
+	io_, ok := m.iops.(*fitPredictor)
+	if !ok {
+		return fmt.Errorf("%w (%v)", ErrNotPersistable, m.Kind)
+	}
+	out := savedModel{
+		App:         m.App,
+		Kind:        m.Kind.String(),
+		SoloRuntime: m.SoloRuntime,
+		SoloIOPS:    m.SoloIOPS,
+		Runtime:     encodeFit(rt),
+		IOPS:        encodeFit(io_),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func encodeFit(f *fitPredictor) savedFit {
+	sf := savedFit{
+		Cols:      append([]int(nil), f.cols...),
+		Intercept: f.fit.Intercept,
+		Coef:      append([]float64(nil), f.fit.Coef...),
+		Lo:        f.lo,
+		Hi:        f.hi,
+		Clamping:  f.clamping,
+	}
+	for _, t := range f.fit.Terms {
+		sf.Terms = append(sf.Terms, savedTerm{I: t.I, J: t.J})
+	}
+	return sf
+}
+
+// Load deserializes a model saved with Save.
+func Load(r io.Reader) (*AppModel, error) {
+	var in savedModel
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decoding saved model: %w", err)
+	}
+	kind, err := kindFromString(in.Kind)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := decodeFit(in.Runtime)
+	if err != nil {
+		return nil, fmt.Errorf("model: runtime fit: %w", err)
+	}
+	io_, err := decodeFit(in.IOPS)
+	if err != nil {
+		return nil, fmt.Errorf("model: iops fit: %w", err)
+	}
+	if in.App == "" {
+		return nil, fmt.Errorf("model: saved model has no application name")
+	}
+	return &AppModel{
+		App:         in.App,
+		Kind:        kind,
+		runtime:     rt,
+		iops:        io_,
+		SoloRuntime: in.SoloRuntime,
+		SoloIOPS:    in.SoloIOPS,
+	}, nil
+}
+
+func decodeFit(sf savedFit) (*fitPredictor, error) {
+	if len(sf.Terms) != len(sf.Coef) {
+		return nil, fmt.Errorf("%d terms but %d coefficients", len(sf.Terms), len(sf.Coef))
+	}
+	if len(sf.Cols) == 0 {
+		return nil, fmt.Errorf("no feature columns")
+	}
+	for _, c := range sf.Cols {
+		if c < 0 || c >= NumFeatures {
+			return nil, fmt.Errorf("feature column %d out of range", c)
+		}
+	}
+	terms := make([]stats.Term, len(sf.Terms))
+	for i, t := range sf.Terms {
+		if t.I < 0 || t.I >= len(sf.Cols) || t.J >= len(sf.Cols) {
+			return nil, fmt.Errorf("term %d indexes outside the column set", i)
+		}
+		terms[i] = stats.Term{I: t.I, J: t.J}
+	}
+	return &fitPredictor{
+		fit: &stats.Fit{
+			Terms:     terms,
+			Intercept: sf.Intercept,
+			Coef:      append([]float64(nil), sf.Coef...),
+		},
+		cols:     append([]int(nil), sf.Cols...),
+		lo:       sf.Lo,
+		hi:       sf.Hi,
+		clamping: sf.Clamping,
+	}, nil
+}
+
+func kindFromString(s string) (Kind, error) {
+	for _, k := range []Kind{WMM, LM, NLM, NLMNoDom0, Forest} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown kind %q", s)
+}

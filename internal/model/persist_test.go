@@ -1,0 +1,92 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTripNLM(t *testing.T) {
+	tss, _ := fixture(t)
+	m, err := Train(tss["blastn"], NLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.App != "blastn" || loaded.Kind != NLM {
+		t.Fatalf("identity lost: %+v", loaded)
+	}
+	// Predictions must match bit-for-bit on several inputs.
+	for _, bg := range [][]float64{
+		zeroFeatures(),
+		tss["blastn"].Samples[40].BG,
+		tss["blastn"].Samples[124].BG,
+	} {
+		if m.PredictRuntime(bg) != loaded.PredictRuntime(bg) {
+			t.Fatalf("runtime prediction diverged after round trip")
+		}
+		if m.PredictIOPS(bg) != loaded.PredictIOPS(bg) {
+			t.Fatalf("IOPS prediction diverged after round trip")
+		}
+	}
+	if m.SoloRuntime != loaded.SoloRuntime || m.SoloIOPS != loaded.SoloIOPS {
+		t.Fatal("solo baselines lost")
+	}
+}
+
+func TestSaveLoadRoundTripLM(t *testing.T) {
+	tss, _ := fixture(t)
+	m, err := Train(tss["video"], LM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := tss["video"].Samples[10].BG
+	if m.PredictRuntime(bg) != loaded.PredictRuntime(bg) {
+		t.Fatal("LM round trip diverged")
+	}
+}
+
+func TestSaveRejectsInstanceBasedFamilies(t *testing.T) {
+	tss, _ := fixture(t)
+	for _, k := range []Kind{WMM, Forest} {
+		m, err := Train(tss["blastn"], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err == nil {
+			t.Fatalf("%v serialized; expected ErrNotPersistable", k)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"unknown kind": `{"app":"x","kind":"MLP","runtime":{"cols":[0]},"iops":{"cols":[0]}}`,
+		"no app":       `{"app":"","kind":"NLM","runtime":{"cols":[0]},"iops":{"cols":[0]}}`,
+		"ragged fit":   `{"app":"x","kind":"NLM","runtime":{"cols":[0],"terms":[{"i":0,"j":-1}],"coef":[]},"iops":{"cols":[0]}}`,
+		"bad column":   `{"app":"x","kind":"NLM","runtime":{"cols":[9]},"iops":{"cols":[0]}}`,
+		"bad term":     `{"app":"x","kind":"NLM","runtime":{"cols":[0],"terms":[{"i":5,"j":-1}],"coef":[1]},"iops":{"cols":[0]}}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package model
+
+import (
+	"fmt"
+
+	"tracon/internal/mat"
+	"tracon/internal/stats"
+)
+
+// PooledModel is the full eight-variable form of the paper's equations (1)
+// and (2): both VMs' characteristics are controlled variables, and one
+// model is trained across all applications. Per-application models (Train)
+// are what TRACON deploys; the pooled model is the natural extension for
+// predicting applications that were never profiled individually, at the
+// cost of accuracy on the profiled ones.
+type PooledModel struct {
+	Kind    Kind
+	runtime predictor
+	iops    predictor
+}
+
+// pooledCols returns the raw feature indices of the 8-variable input
+// [VM1 features (4) ++ VM2 features (4)], honouring the Dom0 ablation on
+// both halves.
+func pooledCols(k Kind) []int {
+	if k == NLMNoDom0 {
+		return []int{0, 1, 2, 4, 5, 6}
+	}
+	return allCols(2 * NumFeatures)
+}
+
+// TrainPooled fits a pooled model from several applications' training
+// sets. Each observation's input is the concatenation of the target's own
+// solo characteristics (X_VM1) and the background's characteristics
+// (X_VM2).
+func TrainPooled(sets []*TrainingSet, k Kind) (*PooledModel, error) {
+	var rows [][]float64
+	var yRT, yIO []float64
+	for _, ts := range sets {
+		if len(ts.Features) != NumFeatures {
+			return nil, fmt.Errorf("model: training set %q has %d target features", ts.App, len(ts.Features))
+		}
+		for _, s := range ts.Samples {
+			row := make([]float64, 0, 2*NumFeatures)
+			row = append(row, ts.Features...)
+			row = append(row, s.BG...)
+			rows = append(rows, row)
+			yRT = append(yRT, s.Runtime)
+			yIO = append(yIO, s.IOPS)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, ErrTooFewSamples
+	}
+	x := mat.NewFromRows(rows)
+	rt, err := trainPooledPredictor(k, x, yRT)
+	if err != nil {
+		return nil, err
+	}
+	io, err := trainPooledPredictor(k, x, yIO)
+	if err != nil {
+		return nil, err
+	}
+	return &PooledModel{Kind: k, runtime: rt, iops: io}, nil
+}
+
+func trainPooledPredictor(k Kind, x *mat.Matrix, y []float64) (predictor, error) {
+	cols := pooledCols(k)
+	sub := x.SelectColumns(cols)
+	switch k {
+	case WMM:
+		pca, err := stats.FitPCACov(sub, wmmComponents)
+		if err != nil {
+			return nil, err
+		}
+		pts := mat.New(sub.Rows(), pca.Comp.Cols())
+		for i := 0; i < sub.Rows(); i++ {
+			pts.SetRow(i, pca.Project(sub.RawRow(i)))
+		}
+		return &wmmPredictor{pca: pca, knn: stats.NewKNN(wmmNeighbours, pts, y), cols: cols}, nil
+	case LM:
+		cfg := stats.DefaultStepwise()
+		cfg.Weights = relativeWeights(y)
+		fit, err := stats.Stepwise(sub, y, stats.LinearTerms(len(cols)), cfg)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := responseBand(y)
+		return &fitPredictor{fit: fit, cols: cols, lo: lo, hi: hi, clamping: true}, nil
+	case NLM, NLMNoDom0:
+		// Equation (2): the full degree-2 expansion over both VMs'
+		// characteristics (44 terms for the 8-variable case).
+		cfg := stats.DefaultStepwise()
+		cfg.Weights = relativeWeights(y)
+		fit, err := stats.Stepwise(sub, y, stats.QuadraticTerms(len(cols)), cfg)
+		if err != nil {
+			return nil, err
+		}
+		gn, err := stats.FitGaussNewton(sub, y, fit.Terms, stats.GaussNewtonConfig{Damping: true})
+		if err == nil && weightedSSE(sub, y, gn) < fit.SSE {
+			fit = gn
+		}
+		lo, hi := responseBand(y)
+		return &fitPredictor{fit: fit, cols: cols, lo: lo, hi: hi, clamping: true}, nil
+	default:
+		return nil, fmt.Errorf("model: unknown kind %v", k)
+	}
+}
+
+// PredictRuntime predicts the runtime of a target with solo
+// characteristics tgt co-located with a workload of characteristics bg.
+func (p *PooledModel) PredictRuntime(tgt, bg []float64) float64 {
+	v := p.runtime.predict(concat(tgt, bg))
+	if v < 1e-6 {
+		v = 1e-6
+	}
+	return v
+}
+
+// PredictIOPS likewise for throughput.
+func (p *PooledModel) PredictIOPS(tgt, bg []float64) float64 {
+	v := p.iops.predict(concat(tgt, bg))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}

@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"tracon/internal/stats"
+)
+
+// DriftConfig tunes the prediction-error drift detector.
+type DriftConfig struct {
+	// Baseline is how many initial observations establish the reference
+	// error distribution.
+	Baseline int
+	// Window is the size of the sliding recent-error window compared
+	// against the baseline.
+	Window int
+	// MeanShiftSigmas fires when the recent mean error exceeds the
+	// baseline mean by this many baseline standard deviations.
+	MeanShiftSigmas float64
+	// MinMeanShift is an absolute floor on the mean shift (guards against
+	// a near-zero baseline variance making the detector hair-triggered).
+	MinMeanShift float64
+	// VarianceSurgeFactor fires when the recent error variance exceeds
+	// the baseline variance by this factor.
+	VarianceSurgeFactor float64
+}
+
+// DefaultDrift returns a conservative configuration: react to clear
+// environment changes (Fig 7's storage migration) without tripping on the
+// noise floor.
+func DefaultDrift() DriftConfig {
+	return DriftConfig{
+		Baseline:            60,
+		Window:              20,
+		MeanShiftSigmas:     3,
+		MinMeanShift:        0.10,
+		VarianceSurgeFactor: 9,
+	}
+}
+
+// Detector watches a stream of prediction errors for the "predefined
+// events" of Sec. 3.1: a significant shift of the mean or a large surge in
+// the variance. It implements model.DriftDetector.
+type Detector struct {
+	cfg      DriftConfig
+	baseline stats.Welford
+	recent   []float64
+}
+
+// NewDetector builds a Detector; zero-valued config fields take defaults.
+func NewDetector(cfg DriftConfig) *Detector {
+	def := DefaultDrift()
+	if cfg.Baseline <= 0 {
+		cfg.Baseline = def.Baseline
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = def.Window
+	}
+	if cfg.MeanShiftSigmas <= 0 {
+		cfg.MeanShiftSigmas = def.MeanShiftSigmas
+	}
+	if cfg.MinMeanShift <= 0 {
+		cfg.MinMeanShift = def.MinMeanShift
+	}
+	if cfg.VarianceSurgeFactor <= 0 {
+		cfg.VarianceSurgeFactor = def.VarianceSurgeFactor
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Observe folds in one prediction error and reports whether drift is
+// detected at this observation.
+func (d *Detector) Observe(err float64) bool {
+	if d.baseline.N() < d.cfg.Baseline {
+		d.baseline.Add(err)
+		return false
+	}
+	d.recent = append(d.recent, err)
+	if len(d.recent) > d.cfg.Window {
+		d.recent = d.recent[len(d.recent)-d.cfg.Window:]
+	}
+	if len(d.recent) < d.cfg.Window {
+		return false
+	}
+	s := stats.Summarize(d.recent)
+	shift := s.Mean - d.baseline.Mean()
+	threshold := d.cfg.MeanShiftSigmas * d.baseline.Stddev()
+	if threshold < d.cfg.MinMeanShift {
+		threshold = d.cfg.MinMeanShift
+	}
+	if shift > threshold {
+		return true
+	}
+	if bv := d.baseline.Variance(); bv > 1e-12 && s.Variance > d.cfg.VarianceSurgeFactor*bv {
+		return true
+	}
+	return false
+}
+
+// Reset clears all state (called after a model rebuild: the new model
+// defines a new baseline).
+func (d *Detector) Reset() {
+	d.baseline.Reset()
+	d.recent = d.recent[:0]
+}
+
+// BaselineReady reports whether the reference window is full.
+func (d *Detector) BaselineReady() bool { return d.baseline.N() >= d.cfg.Baseline }

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// FreePool tracks every free VM slot in the cluster, bucketed by the
+// application occupying the machine's other slot. It resolves Placements
+// (which name only a category) to concrete (machine, slot) pairs,
+// preferring the lowest-indexed slot for determinism.
+//
+// Slots are kept in lazy min-heaps: recategorizations simply push a fresh
+// entry and stale entries are discarded at pop time against the
+// authoritative per-slot state.
+type FreePool struct {
+	heaps   map[string]*slotHeap
+	global  slotHeap
+	state   map[int64]slotState
+	counts  Counts
+	freeSeq int64
+}
+
+type slotState struct {
+	free     bool
+	category string
+}
+
+type slotEntry struct {
+	machine, slot int
+	category      string // category at push time ("" is valid; global uses any)
+	seq           int64  // freed-order stamp (0 in category heaps)
+}
+
+type slotHeap []slotEntry
+
+// Less orders by freed-order when stamped (the global FIFO-over-VMs heap),
+// else by slot index (category heaps, for determinism).
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].seq != h[j].seq {
+		return h[i].seq < h[j].seq
+	}
+	if h[i].machine != h[j].machine {
+		return h[i].machine < h[j].machine
+	}
+	return h[i].slot < h[j].slot
+}
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slotEntry)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewFreePool returns an empty pool.
+func NewFreePool() *FreePool {
+	return &FreePool{
+		heaps:  map[string]*slotHeap{},
+		state:  map[int64]slotState{},
+		counts: Counts{},
+	}
+}
+
+func slotKey(machine, slot int) int64 { return int64(machine)<<8 | int64(slot) }
+
+// SetFree marks a slot free under the given neighbour category, adding or
+// recategorizing as needed.
+func (p *FreePool) SetFree(machine, slot int, category string) {
+	if category == AnyCategory {
+		panic("sched: AnyCategory is not a real category")
+	}
+	key := slotKey(machine, slot)
+	cur, ok := p.state[key]
+	if ok && cur.free {
+		if cur.category == category {
+			return
+		}
+		p.counts[cur.category]--
+	}
+	p.state[key] = slotState{free: true, category: category}
+	p.counts[category]++
+	h, okh := p.heaps[category]
+	if !okh {
+		h = &slotHeap{}
+		p.heaps[category] = h
+	}
+	heap.Push(h, slotEntry{machine: machine, slot: slot, category: category})
+	// The global heap is FIFO over VMs: the next AnyCategory task takes the
+	// slot that has been free the longest, so an idle cluster spreads tasks
+	// instead of repeatedly packing the lowest-numbered machine. Only the
+	// first SetFree after a busy period stamps the order; recategorizations
+	// keep the original position via the stale-entry check at pop time.
+	p.freeSeq++
+	heap.Push(&p.global, slotEntry{machine: machine, slot: slot, seq: p.freeSeq})
+}
+
+// SetBusy marks a slot occupied.
+func (p *FreePool) SetBusy(machine, slot int) {
+	key := slotKey(machine, slot)
+	cur, ok := p.state[key]
+	if !ok || !cur.free {
+		return
+	}
+	p.counts[cur.category]--
+	p.state[key] = slotState{free: false}
+}
+
+// Counts returns a copy of the per-category free counts (zero entries
+// removed).
+func (p *FreePool) Counts() Counts {
+	out := make(Counts, len(p.counts))
+	for c, n := range p.counts {
+		if n > 0 {
+			out[c] = n
+		}
+	}
+	return out
+}
+
+// FreeSlots returns the total number of free slots.
+func (p *FreePool) FreeSlots() int {
+	t := 0
+	for _, n := range p.counts {
+		if n > 0 {
+			t += n
+		}
+	}
+	return t
+}
+
+// Pop resolves a placement category to a concrete free slot and marks it
+// busy. AnyCategory takes the lowest-indexed free slot overall.
+func (p *FreePool) Pop(category string) (machine, slot int, err error) {
+	if category == AnyCategory {
+		for p.global.Len() > 0 {
+			e := heap.Pop(&p.global).(slotEntry)
+			st, ok := p.state[slotKey(e.machine, e.slot)]
+			if ok && st.free {
+				p.SetBusy(e.machine, e.slot)
+				return e.machine, e.slot, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("sched: no free VM")
+	}
+	h, ok := p.heaps[category]
+	if !ok {
+		return 0, 0, fmt.Errorf("sched: no free VM with neighbour %q", category)
+	}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(slotEntry)
+		st, oks := p.state[slotKey(e.machine, e.slot)]
+		if oks && st.free && st.category == e.category {
+			p.SetBusy(e.machine, e.slot)
+			return e.machine, e.slot, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("sched: no free VM with neighbour %q", category)
+}
+
+// Category returns the current category of a free slot (ok=false if the
+// slot is not free).
+func (p *FreePool) Category(machine, slot int) (string, bool) {
+	st, ok := p.state[slotKey(machine, slot)]
+	if !ok || !st.free {
+		return "", false
+	}
+	return st.category, true
+}

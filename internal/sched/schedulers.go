@@ -1,0 +1,311 @@
+package sched
+
+import (
+	"fmt"
+)
+
+// FIFO is the paper's baseline: tasks go to free VMs in first-in,
+// first-out order, with no regard for interference.
+type FIFO struct{}
+
+// Name implements Scheduler.
+func (FIFO) Name() string { return "FIFO" }
+
+// BatchSize implements Scheduler: FIFO dispatches immediately.
+func (FIFO) BatchSize() int { return 1 }
+
+// Schedule implements Scheduler: each task takes the next free VM in index
+// order (AnyCategory placements are resolved by the executor).
+func (FIFO) Schedule(batch []Task, counts Counts, _ Load) ([]Placement, error) {
+	free := counts.Total()
+	var out []Placement
+	for _, t := range batch {
+		if free <= 0 {
+			break
+		}
+		out = append(out, Placement{Task: t, Category: AnyCategory})
+		free--
+	}
+	return out, nil
+}
+
+// MIOS is the minimum interference online scheduler (Algorithm 1): each
+// incoming task is immediately dispatched to the VM with the best
+// predicted performance.
+type MIOS struct {
+	Scorer *Scorer
+}
+
+// Name implements Scheduler.
+func (m *MIOS) Name() string { return "MIOS" + m.Scorer.Objective().String() }
+
+// BatchSize implements Scheduler: online, no batching.
+func (m *MIOS) BatchSize() int { return 1 }
+
+// Schedule implements Scheduler.
+func (m *MIOS) Schedule(batch []Task, counts Counts, load Load) ([]Placement, error) {
+	meanPair, err := m.Scorer.MeanPairOver(apps(batch))
+	if err != nil {
+		return nil, err
+	}
+	var out []Placement
+	for _, t := range batch {
+		p, ok, err := placeOne(m.Scorer, t, counts, meanPair, load)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break // no free VM; the rest of the batch waits too
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// placeOne runs one MIOS step: pick the best category for the task and
+// consume the slot from counts.
+func placeOne(s *Scorer, t Task, counts Counts, meanPair MeanPair, load Load) (Placement, bool, error) {
+	emptyScore, err := s.EmptyScore(t.App, meanPair, load.Fraction(counts))
+	if err != nil {
+		return Placement{}, false, err
+	}
+	cat, _, ok, err := s.bestCategory(t.App, counts, emptyScore)
+	if err != nil || !ok {
+		return Placement{}, false, err
+	}
+	if err := counts.take(cat, t.App); err != nil {
+		return Placement{}, false, err
+	}
+	return Placement{Task: t, Category: cat}, true, nil
+}
+
+// MIBS is the minimum interference batch scheduler (Algorithm 2), built on
+// the Min-Min heuristic [17]: the queued task with the best achievable
+// placement goes first, then the queued task with the least mutual
+// interference against it joins it, and the pair leaves the queue.
+type MIBS struct {
+	Scorer *Scorer
+	// QueueLen is the batch size (the paper evaluates 2, 4 and 8).
+	QueueLen int
+	// forceHead makes the first head the literal batch head instead of the
+	// Min-Min choice; MIX uses it to explore rotations (Algorithm 3).
+	forceHead bool
+}
+
+// Name implements Scheduler, e.g. "MIBS8-RT".
+func (m *MIBS) Name() string {
+	return fmt.Sprintf("MIBS%d-%s", m.QueueLen, m.Scorer.Objective())
+}
+
+// BatchSize implements Scheduler.
+func (m *MIBS) BatchSize() int {
+	if m.QueueLen < 1 {
+		return 1
+	}
+	return m.QueueLen
+}
+
+// Schedule implements Scheduler (Algorithm 2 / the Min-Min heuristic
+// [17]). The first "Min" evaluates every queued task's best VM; the task
+// with the overall minimum predicted score is placed first (this is what
+// makes the batch scheduler beat MIOS when VMs free up one at a time: the
+// batch picks the *task that fits the opening*, the online scheduler is
+// stuck with the head). Its least-interfering companion follows.
+func (m *MIBS) Schedule(batch []Task, counts Counts, load Load) ([]Placement, error) {
+	queue := append([]Task(nil), batch...)
+	meanPair, err := m.Scorer.MeanPairOver(apps(batch))
+	if err != nil {
+		return nil, err
+	}
+	var out []Placement
+	first := true
+	for len(queue) > 0 {
+		// candidate1: the queued task with the best achievable placement.
+		headIdx := -1
+		headScore := 0.0
+		if m.forceHead && first {
+			headIdx = 0
+		} else {
+			for i, t := range queue {
+				emptyScore, err := m.Scorer.EmptyScore(t.App, meanPair, load.Fraction(counts))
+				if err != nil {
+					return nil, err
+				}
+				_, sc, ok, err := m.Scorer.bestCategory(t.App, counts, emptyScore)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				if headIdx < 0 || sc < headScore-1e-12 {
+					headIdx, headScore = i, sc
+				}
+			}
+		}
+		first = false
+		if headIdx < 0 {
+			break // cluster full
+		}
+		head := queue[headIdx]
+		p1, ok, err := placeOne(m.Scorer, head, counts, meanPair, load)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, p1)
+		queue = append(queue[:headIdx], queue[headIdx+1:]...)
+		if len(queue) == 0 {
+			break
+		}
+
+		// candidate2: the queued task with the least interference against
+		// candidate1 relative to its opportunity cost (the first "Min").
+		bestIdx, bestScore := -1, 0.0
+		for i, t := range queue {
+			sc, err := m.Scorer.CompanionScore(t.App, head.App, meanPair)
+			if err != nil {
+				return nil, err
+			}
+			if bestIdx < 0 || sc < bestScore-1e-12 {
+				bestIdx, bestScore = i, sc
+			}
+		}
+		// The companion is committed next to the head when the head opened a
+		// fresh machine AND the pairing actually beats the companion's own
+		// empty-machine option under the expected load — otherwise it gets
+		// its own MIOS placement (in a half-empty cluster, spreading wins).
+		var p2 Placement
+		var ok2 bool
+		commit := false
+		if p1.Category == EmptyCategory && counts[head.App] > 0 {
+			pairSc, err := m.Scorer.PlacementScore(queue[bestIdx].App, head.App)
+			if err != nil {
+				return nil, err
+			}
+			commit = counts[EmptyCategory] == 0
+			if !commit {
+				emptySc, err := m.Scorer.EmptyScore(queue[bestIdx].App, meanPair, load.Fraction(counts))
+				if err != nil {
+					return nil, err
+				}
+				commit = pairSc <= emptySc
+			}
+		}
+		if commit {
+			p2 = Placement{Task: queue[bestIdx], Category: head.App}
+			if err := counts.take(head.App, queue[bestIdx].App); err != nil {
+				return nil, err
+			}
+			ok2 = true
+		} else {
+			p2, ok2, err = placeOne(m.Scorer, queue[bestIdx], counts, meanPair, load)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !ok2 {
+			break
+		}
+		out = append(out, p2)
+		queue = append(queue[:bestIdx], queue[bestIdx+1:]...)
+	}
+	return out, nil
+}
+
+// MIX (Algorithm 3) tries every queued task as the head of a hypothetical
+// MIBS run, keeps the assignment with the best total predicted score, and
+// executes it. It trades the highest scheduling cost for the best
+// potential decisions.
+type MIX struct {
+	Scorer   *Scorer
+	QueueLen int
+}
+
+// Name implements Scheduler, e.g. "MIX8-RT".
+func (m *MIX) Name() string {
+	return fmt.Sprintf("MIX%d-%s", m.QueueLen, m.Scorer.Objective())
+}
+
+// BatchSize implements Scheduler.
+func (m *MIX) BatchSize() int {
+	if m.QueueLen < 1 {
+		return 1
+	}
+	return m.QueueLen
+}
+
+// Schedule implements Scheduler (Algorithm 3).
+func (m *MIX) Schedule(batch []Task, counts Counts, load Load) ([]Placement, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	// Candidate assignments: the plain Min-Min MIBS run, plus one run per
+	// rotation in which that task is forced to be the first head ("gives
+	// every job a chance to be the first job in the queue").
+	inner := &MIBS{Scorer: m.Scorer, QueueLen: m.QueueLen}
+	forced := &MIBS{Scorer: m.Scorer, QueueLen: m.QueueLen, forceHead: true}
+
+	var bestPl []Placement
+	bestScore := 0.0
+	for rot := -1; rot < len(batch); rot++ {
+		runner := forced
+		var rotated []Task
+		if rot < 0 {
+			runner = inner
+			rotated = batch
+		} else {
+			rotated = make([]Task, 0, len(batch))
+			rotated = append(rotated, batch[rot])
+			rotated = append(rotated, batch[:rot]...)
+			rotated = append(rotated, batch[rot+1:]...)
+		}
+
+		trial := counts.Clone()
+		pl, err := runner.Schedule(rotated, trial, load)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := m.totalScore(pl)
+		if err != nil {
+			return nil, err
+		}
+		// Prefer assignments that place more tasks; among equals, the best
+		// total predicted score wins. Ties keep the earliest rotation.
+		if bestPl == nil || len(pl) > len(bestPl) ||
+			(len(pl) == len(bestPl) && sc < bestScore-1e-12) {
+			bestPl, bestScore = pl, sc
+		}
+	}
+	// Execute the winning assignment against the real counts.
+	for _, p := range bestPl {
+		if err := counts.take(p.Category, p.Task.App); err != nil {
+			return nil, err
+		}
+	}
+	return bestPl, nil
+}
+
+// totalScore sums the placement scores of an assignment.
+func (m *MIX) totalScore(pl []Placement) (float64, error) {
+	total := 0.0
+	for _, p := range pl {
+		sc, err := m.Scorer.PlacementScore(p.Task.App, p.Category)
+		if err != nil {
+			return 0, err
+		}
+		total += sc
+	}
+	return total, nil
+}
+
+// apps extracts the application names of a batch.
+func apps(batch []Task) []string {
+	out := make([]string, len(batch))
+	for i, t := range batch {
+		out[i] = t.App
+	}
+	return out
+}

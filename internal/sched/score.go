@@ -1,0 +1,266 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"tracon/internal/model"
+)
+
+// Scorer turns model predictions into placement scores (lower is better).
+// Scores are expressed as the absolute predicted cost a decision *adds* to
+// the objective: extra total seconds for the runtime objective, lost
+// aggregate IOPS for the throughput objective. Scores are memoized: the
+// application set is small and predictions are deterministic, so large
+// simulations pay for each (target, neighbour) pair once.
+type Scorer struct {
+	pred  model.Predictor
+	obj   Objective
+	cache map[[2]string]float64
+}
+
+// NewScorer builds a scorer over a predictor for the given objective.
+func NewScorer(pred model.Predictor, obj Objective) *Scorer {
+	return &Scorer{pred: pred, obj: obj, cache: map[[2]string]float64{}}
+}
+
+// Objective returns the optimization target.
+func (s *Scorer) Objective() Objective { return s.obj }
+
+// PairScore is the predicted cost added by co-locating two fresh tasks,
+// relative to each running alone. For the runtime objective it is
+// phase-aware, the way the data-center executes pairs: both slow each
+// other until the shorter finishes, then the survivor speeds back up.
+func (s *Scorer) PairScore(a, b string) (float64, error) {
+	key := [2]string{a, b}
+	if b < a {
+		key = [2]string{b, a} // symmetric; halve the cache
+	}
+	if v, ok := s.cache[key]; ok {
+		return v, nil
+	}
+	var score float64
+	var err error
+	if s.obj == MinRuntime {
+		score, err = s.pairExtraRuntime(a, b)
+	} else {
+		score, err = s.pairExtraIOPS(a, b)
+	}
+	if err != nil {
+		return 0, err
+	}
+	s.cache[key] = score
+	return score, nil
+}
+
+// pairRuntimes predicts the realized runtimes of a and b started together
+// from a cold start, with the survivor's remaining work rescaled once the
+// shorter task completes — mirroring the simulator's execution model, but
+// computed purely from model predictions.
+func (s *Scorer) pairRuntimes(a, b string) (sa, sb, rtA, rtB float64, err error) {
+	sa, err = s.pred.SoloRuntime(a)
+	if err != nil {
+		return
+	}
+	sb, err = s.pred.SoloRuntime(b)
+	if err != nil {
+		return
+	}
+	pa, err := s.pred.PredictRuntime(a, b)
+	if err != nil {
+		return
+	}
+	pb, err := s.pred.PredictRuntime(b, a)
+	if err != nil {
+		return
+	}
+	// A model can mispredict below solo; interference never speeds you up.
+	if pa < sa {
+		pa = sa
+	}
+	if pb < sb {
+		pb = sb
+	}
+	if sa <= 0 || sb <= 0 {
+		err = fmt.Errorf("sched: non-positive solo runtime for %q/%q", a, b)
+		return
+	}
+	ra, rb := sa/pa, sb/pb // progress rates while paired
+	if pa <= pb {
+		// a finishes at pa; b then completes its remaining work alone.
+		remB := sb - rb*pa
+		if remB < 0 {
+			remB = 0
+		}
+		rtA, rtB = pa, pa+remB
+	} else {
+		remA := sa - ra*pb
+		if remA < 0 {
+			remA = 0
+		}
+		rtA, rtB = pb+remA, pb
+	}
+	return
+}
+
+// pairExtraRuntime predicts the added total runtime (seconds) of pairing.
+func (s *Scorer) pairExtraRuntime(a, b string) (float64, error) {
+	sa, sb, rtA, rtB, err := s.pairRuntimes(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return (rtA - sa) + (rtB - sb), nil
+}
+
+// pairExtraIOPS predicts the aggregate throughput lost by pairing a and b.
+// Per eq. 4, a task's contribution is ops/runtime, so the loss follows
+// directly from the phase-aware runtimes (which lean on the more accurate
+// runtime models) with each task's request volume estimated from its solo
+// profile: ops ≈ soloIOPS · soloRuntime.
+func (s *Scorer) pairExtraIOPS(a, b string) (float64, error) {
+	sa, sb, rtA, rtB, err := s.pairRuntimes(a, b)
+	if err != nil {
+		return 0, err
+	}
+	ioA, err := s.pred.SoloIOPS(a)
+	if err != nil {
+		return 0, err
+	}
+	ioB, err := s.pred.SoloIOPS(b)
+	if err != nil {
+		return 0, err
+	}
+	opsA, opsB := ioA*sa, ioB*sb
+	return (opsA/sa - opsA/rtA) + (opsB/sb - opsB/rtB), nil
+}
+
+// PlacementScore scores running app on a free VM whose neighbour currently
+// runs neighbour (EmptyCategory for an idle machine): the predicted cost
+// added to the cluster objective by the co-location. An idle machine adds
+// nothing — its forward-looking cost is handled by EmptyScore.
+func (s *Scorer) PlacementScore(app, neighbour string) (float64, error) {
+	if neighbour == EmptyCategory {
+		return 0, nil
+	}
+	return s.PairScore(app, neighbour)
+}
+
+// MeanPair summarizes a queue for the batch-scoring formulas: for every
+// distinct application in the queue, the mean pairing cost of that
+// application against the whole queue. Computing it once per Schedule call
+// keeps batch scheduling O(l²) instead of O(l³) (the 1,024-machine static
+// runs schedule 2,048-task batches in one call).
+type MeanPair map[string]float64
+
+// MeanPairOver builds the summary for a queue.
+func (s *Scorer) MeanPairOver(queueApps []string) (MeanPair, error) {
+	if len(queueApps) == 0 {
+		return MeanPair{}, nil
+	}
+	counts := map[string]int{}
+	for _, a := range queueApps {
+		counts[a]++
+	}
+	out := make(MeanPair, len(counts))
+	for a := range counts {
+		sum := 0.0
+		for b, n := range counts {
+			sc, err := s.PairScore(a, b)
+			if err != nil {
+				return nil, err
+			}
+			sum += sc * float64(n)
+		}
+		out[a] = sum / float64(len(queueApps))
+	}
+	return out, nil
+}
+
+// EmptyScore scores placing app on an idle machine, accounting for the
+// future: under load, the idle machine will soon receive a neighbour drawn
+// from the current workload mix, so its true cost is the load-weighted
+// mean pairing cost against the queued applications (from the queue's
+// MeanPair summary). Without this, every policy degenerates to "spread
+// out", and batch pairing (the heart of MIBS) never engages.
+func (s *Scorer) EmptyScore(app string, meanPair MeanPair, load float64) (float64, error) {
+	if load <= 0 || len(meanPair) == 0 {
+		return 0, nil
+	}
+	if load > 1 {
+		load = 1
+	}
+	mean, ok := meanPair[app]
+	if !ok {
+		// App not in the queue summary (e.g. a forced probe): compute the
+		// mean against the summarized apps directly.
+		sum := 0.0
+		for b := range meanPair {
+			sc, err := s.PairScore(app, b)
+			if err != nil {
+				return 0, err
+			}
+			sum += sc
+		}
+		mean = sum / float64(len(meanPair))
+	}
+	return load * mean, nil
+}
+
+// CompanionScore ranks candidate as the batch companion for head (MIBS's
+// first "Min"). Raw mutual interference alone is a trap: two no-I/O tasks
+// always look like the best pair, which wastes gentle partners on tasks
+// that did not need them and leaves the heavy tasks to collide at the end
+// of the batch. The score therefore subtracts the candidate's mean pairing
+// cost against the whole queue — its opportunity cost — so a head prefers
+// the partner that is cheapest *relative to what that partner would cost
+// anyone else*.
+func (s *Scorer) CompanionScore(candidate, head string, meanPair MeanPair) (float64, error) {
+	pair, err := s.PairScore(candidate, head)
+	if err != nil {
+		return 0, err
+	}
+	if len(meanPair) == 0 {
+		return pair, nil
+	}
+	return pair - meanPair[candidate], nil
+}
+
+// bestCategory finds the free-pool category with the minimum placement
+// score for app, using emptyScore for idle machines. Ties break toward
+// the empty category first, then lexicographically, for determinism.
+func (s *Scorer) bestCategory(app string, counts Counts, emptyScore float64) (string, float64, bool, error) {
+	best := ""
+	bestScore := 0.0
+	found := false
+	// Deterministic iteration: empty category first, then sorted names;
+	// only a strictly better score displaces the incumbent, so ties favour
+	// idle machines and then lexicographic order.
+	for _, cat := range sortedCategories(counts) {
+		if counts[cat] <= 0 {
+			continue
+		}
+		var sc float64
+		var err error
+		if cat == EmptyCategory {
+			sc = emptyScore
+		} else {
+			sc, err = s.PlacementScore(app, cat)
+			if err != nil {
+				return "", 0, false, err
+			}
+		}
+		if !found || sc < bestScore-1e-12 {
+			best, bestScore, found = cat, sc, true
+		}
+	}
+	return best, bestScore, found, nil
+}
+
+func sortedCategories(counts Counts) []string {
+	out := make([]string, 0, len(counts))
+	for c := range counts {
+		out = append(out, c)
+	}
+	sort.Strings(out) // EmptyCategory ("") sorts first
+	return out
+}

@@ -1,0 +1,437 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"tracon/internal/sched"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Machines is the number of physical machines (two VMs each).
+	Machines int
+	// Scheduler is the policy under test.
+	Scheduler sched.Scheduler
+	// Table is the measured ground truth the simulator replays.
+	Table *InterferenceTable
+	// FlushTimeout bounds how long a batch scheduler may hold a partial
+	// queue before scheduling it anyway (seconds). Zero means the default
+	// of 30 s. Without it, a trickle of arrivals would starve under a
+	// batch policy waiting for a full queue.
+	FlushTimeout float64
+	// DropRecords discards per-task records, keeping only aggregates —
+	// needed for the multi-million-task scalability runs.
+	DropRecords bool
+	// Power is the per-machine power model for energy accounting; the zero
+	// value takes DefaultPower.
+	Power PowerModel
+}
+
+// vmsPerMachine is fixed at the paper's configuration ("each physical
+// machine supports two virtual machines").
+const vmsPerMachine = 2
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+	evFlush
+)
+
+type event struct {
+	time    float64
+	kind    eventKind
+	seq     int64 // tie-break for determinism
+	task    sched.Task
+	machine int
+	slot    int
+	gen     int64 // completion generation guard
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type runningTask struct {
+	task       sched.Task
+	workLeft   float64 // remaining work in solo-seconds
+	rate       float64 // current progress rate
+	lastUpdate float64
+	start      float64
+	gen        int64
+}
+
+type machineState struct {
+	slots        [vmsPerMachine]*runningTask
+	powerW       float64
+	lastEnergyAt float64
+}
+
+// TaskRecord is the outcome of one completed task.
+type TaskRecord struct {
+	Task    sched.Task
+	Start   float64
+	Finish  float64
+	Machine int
+	Slot    int
+}
+
+// Runtime is the task's execution time (queueing excluded, as in eq. 3).
+func (r TaskRecord) Runtime() float64 { return r.Finish - r.Start }
+
+// Wait is the queueing delay before the task started.
+func (r TaskRecord) Wait() float64 { return r.Start - r.Task.Arrival }
+
+// Results aggregates a simulation run.
+type Results struct {
+	Scheduler string
+	// Completed holds per-task records (empty when Config.DropRecords).
+	Completed []TaskRecord
+	// CompletedCount is the number of completed tasks (valid always).
+	CompletedCount int
+	// TotalRuntime is Σ runtimes of completed tasks (eq. 3).
+	TotalRuntime float64
+	// TotalIOPS is Σ per-task average throughput (eq. 4).
+	TotalIOPS float64
+	// TotalWait is Σ queueing delays of completed tasks.
+	TotalWait float64
+	// Horizon is the simulated duration.
+	Horizon float64
+	// Submitted is the number of tasks offered to the system.
+	Submitted int
+	// EnergyJ is the integrated cluster energy in joules (see energy.go).
+	EnergyJ float64
+	// LastFinish is the completion time of the last finished task — the
+	// makespan of a workflow run that starts at time zero.
+	LastFinish float64
+}
+
+// Throughput returns completed tasks per the whole horizon — the T_S of
+// Section 4.7.
+func (r *Results) Throughput() float64 { return float64(r.CompletedCount) }
+
+// MeanRuntime returns the average execution time of completed tasks.
+func (r *Results) MeanRuntime() float64 {
+	if r.CompletedCount == 0 {
+		return 0
+	}
+	return r.TotalRuntime / float64(r.CompletedCount)
+}
+
+// MeanWait returns the average queueing delay of completed tasks.
+func (r *Results) MeanWait() float64 {
+	if r.CompletedCount == 0 {
+		return 0
+	}
+	return r.TotalWait / float64(r.CompletedCount)
+}
+
+// Engine runs one simulation.
+type Engine struct {
+	cfg      Config
+	machines []machineState
+	pool     *sched.FreePool
+	events   eventHeap
+	deps     *depState
+	queue    []sched.Task // backlog; live region is queue[qhead:]
+	qhead    int
+	now      float64
+	seq      int64
+	genSeq   int64
+	results  Results
+	table    *InterferenceTable
+}
+
+// NewEngine validates the config and prepares an idle cluster.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("sim: need at least one machine")
+	}
+	if cfg.Scheduler == nil || cfg.Table == nil {
+		return nil, fmt.Errorf("sim: scheduler and table are required")
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = 30
+	}
+	if cfg.Power == (PowerModel{}) {
+		cfg.Power = DefaultPower()
+	}
+	e := &Engine{
+		cfg:      cfg,
+		machines: make([]machineState, cfg.Machines),
+		pool:     sched.NewFreePool(),
+		table:    cfg.Table,
+	}
+	e.results.Scheduler = cfg.Scheduler.Name()
+	for m := 0; m < cfg.Machines; m++ {
+		e.machines[m].powerW = cfg.Power.OffW
+		for s := 0; s < vmsPerMachine; s++ {
+			e.pool.SetFree(m, s, sched.EmptyCategory)
+		}
+	}
+	return e, nil
+}
+
+// Run executes the arrivals until the horizon (Inf = run to completion of
+// all tasks) and returns the results. Tasks still running or queued at the
+// horizon are not counted as completed.
+func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
+	for _, t := range arrivals {
+		if !e.table.Has(t.App) {
+			return nil, fmt.Errorf("sim: unknown application %q", t.App)
+		}
+		e.push(event{time: t.Arrival, kind: evArrival, task: t})
+	}
+	var err error
+	if e.deps, err = validateDAG(arrivals); err != nil {
+		return nil, err
+	}
+	e.results.Submitted = len(arrivals)
+
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.time > horizon {
+			e.now = horizon
+			break
+		}
+		if ev.time < e.now-1e-9 {
+			return nil, fmt.Errorf("sim: time went backwards: %v < %v", ev.time, e.now)
+		}
+		e.now = math.Max(e.now, ev.time)
+		switch ev.kind {
+		case evArrival:
+			if !e.deps.ready(ev.task.ID) {
+				e.deps.hold(ev.task)
+				continue
+			}
+			e.enqueue(ev.task)
+		case evCompletion:
+			rt := e.machines[ev.machine].slots[ev.slot]
+			if rt == nil || rt.gen != ev.gen {
+				continue // stale completion from before a repairing
+			}
+			if err := e.complete(ev.machine, ev.slot); err != nil {
+				return nil, err
+			}
+		case evFlush:
+			// Just a wake-up; scheduling below.
+		}
+		if err := e.trySchedule(); err != nil {
+			return nil, err
+		}
+	}
+	if math.IsInf(horizon, 1) {
+		e.results.Horizon = e.now
+	} else {
+		e.results.Horizon = horizon
+	}
+	e.flushEnergy(e.results.Horizon)
+	return &e.results, nil
+}
+
+// enqueue adds a schedulable task to the backlog and arms a flush check so
+// a partial batch cannot starve waiting for a batch scheduler's queue to
+// fill.
+func (e *Engine) enqueue(t sched.Task) {
+	e.queue = append(e.queue, t)
+	// Compact the backlog when the dead prefix dominates.
+	if e.qhead > 4096 && e.qhead*2 > len(e.queue) {
+		e.queue = append(e.queue[:0], e.queue[e.qhead:]...)
+		e.qhead = 0
+	}
+	e.push(event{time: e.now + e.cfg.FlushTimeout, kind: evFlush})
+}
+
+func (e *Engine) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+// settle brings a machine's running tasks (and energy meter) up to the
+// current time.
+func (e *Engine) settle(m int) {
+	e.settleEnergy(m)
+	for _, rt := range e.machines[m].slots {
+		if rt == nil {
+			continue
+		}
+		rt.workLeft -= rt.rate * (e.now - rt.lastUpdate)
+		if rt.workLeft < 0 {
+			rt.workLeft = 0
+		}
+		rt.lastUpdate = e.now
+	}
+}
+
+// reprice recomputes both slots' progress rates after a membership change
+// and schedules fresh completion events.
+func (e *Engine) reprice(m int) {
+	ms := &e.machines[m]
+	for s, rt := range ms.slots {
+		if rt == nil {
+			continue
+		}
+		neighbour := ""
+		if other := ms.slots[1-s]; other != nil {
+			neighbour = other.task.App
+		}
+		rt.rate = e.table.Rate(rt.task.App, neighbour)
+		if rt.rate <= 0 {
+			rt.rate = 1e-9
+		}
+		// Generations are engine-global: a per-task counter would collide
+		// with stale events left behind by a previous occupant of the slot.
+		e.genSeq++
+		rt.gen = e.genSeq
+		e.push(event{
+			time:    e.now + rt.workLeft/rt.rate,
+			kind:    evCompletion,
+			machine: m,
+			slot:    s,
+			gen:     rt.gen,
+		})
+	}
+}
+
+// complete finishes the task in (m, slot), records it, frees the VM and
+// reprices the survivor.
+func (e *Engine) complete(m, slot int) error {
+	e.settle(m)
+	ms := &e.machines[m]
+	rt := ms.slots[slot]
+	if rt == nil {
+		return fmt.Errorf("sim: completion on empty slot %d/%d", m, slot)
+	}
+	ms.slots[slot] = nil
+	rec := TaskRecord{Task: rt.task, Start: rt.start, Finish: e.now, Machine: m, Slot: slot}
+	// Release any workflow tasks this completion unblocks.
+	for _, released := range e.deps.complete(rt.task.ID) {
+		released.Arrival = e.now // became schedulable now; Wait() measures queueing
+		e.enqueue(released)
+	}
+	if e.now > e.results.LastFinish {
+		e.results.LastFinish = e.now
+	}
+	e.results.CompletedCount++
+	e.results.TotalRuntime += rec.Runtime()
+	e.results.TotalWait += rec.Wait()
+	if !e.cfg.DropRecords {
+		e.results.Completed = append(e.results.Completed, rec)
+	}
+	if ops := e.table.Ops(rt.task.App); ops > 0 && rec.Runtime() > 0 {
+		e.results.TotalIOPS += ops / rec.Runtime()
+	}
+
+	// Pool bookkeeping: the freed slot's category is the survivor's app;
+	// if the survivor slot is itself free, the whole machine is idle and
+	// both slots are empty-category.
+	other := ms.slots[1-slot]
+	if other != nil {
+		e.pool.SetFree(m, slot, other.task.App)
+	} else {
+		e.pool.SetFree(m, slot, sched.EmptyCategory)
+		if _, free := e.pool.Category(m, 1-slot); free {
+			e.pool.SetFree(m, 1-slot, sched.EmptyCategory)
+		}
+	}
+	e.reprice(m)
+	e.settleEnergy(m) // re-sample power under the new membership
+	return nil
+}
+
+// place starts a task on a concrete VM.
+func (e *Engine) place(t sched.Task, m, slot int) error {
+	ms := &e.machines[m]
+	if ms.slots[slot] != nil {
+		return fmt.Errorf("sim: slot %d/%d already occupied", m, slot)
+	}
+	e.settle(m)
+	ms.slots[slot] = &runningTask{
+		task:       t,
+		workLeft:   e.table.SoloRuntime(t.App),
+		lastUpdate: e.now,
+		start:      e.now,
+	}
+	// The sibling slot, if free, is now neighboured by this app.
+	if _, free := e.pool.Category(m, 1-slot); free {
+		e.pool.SetFree(m, 1-slot, t.App)
+	}
+	e.reprice(m)
+	e.settleEnergy(m) // re-sample power under the new membership
+	return nil
+}
+
+// trySchedule runs the scheduling policy against the current queue.
+func (e *Engine) trySchedule() error {
+	q := e.cfg.Scheduler.BatchSize()
+	for e.backlog() > 0 && e.pool.FreeSlots() > 0 {
+		n := e.backlog()
+		ready := n >= q || e.now-e.queue[e.qhead].Arrival >= e.cfg.FlushTimeout-1e-9
+		if !ready {
+			return nil
+		}
+		batchLen := q
+		if batchLen > n {
+			batchLen = n
+		}
+		batch := append([]sched.Task(nil), e.queue[e.qhead:e.qhead+batchLen]...)
+		load := sched.Load{TotalSlots: e.cfg.Machines * vmsPerMachine, Queued: n}
+		placements, err := e.cfg.Scheduler.Schedule(batch, e.pool.Counts(), load)
+		if err != nil {
+			return err
+		}
+		if len(placements) == 0 {
+			return nil
+		}
+		placed := map[int64]bool{}
+		for _, p := range placements {
+			m, slot, err := e.pool.Pop(p.Category)
+			if err != nil {
+				return fmt.Errorf("sim: scheduler %s emitted unexecutable placement %+v: %w",
+					e.cfg.Scheduler.Name(), p, err)
+			}
+			if err := e.place(p.Task, m, slot); err != nil {
+				return err
+			}
+			placed[p.Task.ID] = true
+		}
+		// Keep the unplaced batch members at the front of the backlog,
+		// preserving order — O(batch), never O(backlog).
+		keep := batch[:0]
+		for _, t := range batch {
+			if !placed[t.ID] {
+				keep = append(keep, t)
+			}
+		}
+		e.qhead += batchLen - len(keep)
+		copy(e.queue[e.qhead:e.qhead+len(keep)], keep)
+		if len(placements) < batchLen {
+			return nil // cluster full; wait for completions
+		}
+	}
+	return nil
+}
+
+func (e *Engine) backlog() int { return len(e.queue) - e.qhead }
+
+// QueueLength reports the current backlog (for tests and diagnostics).
+func (e *Engine) QueueLength() int { return e.backlog() }

@@ -1,0 +1,145 @@
+// Package sim is the discrete-event data-center simulator of Section 4.2:
+// 8–10,000 physical machines, two VMs each, tasks arriving statically (one
+// per VM) or dynamically (Poisson), schedulers assigning tasks to VMs, and
+// ground-truth execution replayed from interference measurements — exactly
+// the paper's methodology ("the simulator calculates the performance by
+// using the actual statistics that have been measured in the real
+// systems").
+//
+// When a task's co-runner changes mid-flight, its remaining work is
+// rescaled to the new pairing's progress rate (the paper's 80%/20%
+// example).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tracon/internal/xen"
+)
+
+// InterferenceTable replays measured pairwise interference: for every
+// ordered application pair, the progress rate (inverse slowdown) and
+// throughput of the first while co-located with the second.
+type InterferenceTable struct {
+	apps    []string
+	soloRT  map[string]float64
+	soloIO  map[string]float64
+	soloOps map[string]float64
+	rate    map[[2]string]float64
+	iops    map[[2]string]float64
+	util    map[[2]string]float64 // guest CPU + Dom0 utilization attributable
+}
+
+// BuildInterferenceTable measures every ordered pair (and every solo run)
+// on the host model. For n applications this is n solo solves plus n·n
+// pair solves.
+func BuildInterferenceTable(host *xen.Host, apps []xen.AppSpec) (*InterferenceTable, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("sim: no applications")
+	}
+	t := &InterferenceTable{
+		soloRT:  map[string]float64{},
+		soloIO:  map[string]float64{},
+		soloOps: map[string]float64{},
+		rate:    map[[2]string]float64{},
+		iops:    map[[2]string]float64{},
+		util:    map[[2]string]float64{},
+	}
+	for _, a := range apps {
+		if _, ok := t.soloRT[a.Name]; ok {
+			return nil, fmt.Errorf("sim: duplicate application %q", a.Name)
+		}
+		st, err := host.Steady([]xen.AppSpec{a})
+		if err != nil {
+			return nil, err
+		}
+		if math.IsInf(st[0].Runtime, 0) {
+			return nil, fmt.Errorf("sim: application %q never terminates", a.Name)
+		}
+		t.apps = append(t.apps, a.Name)
+		t.soloRT[a.Name] = st[0].Runtime
+		t.soloIO[a.Name] = st[0].IOPS
+		t.soloOps[a.Name] = a.TotalOps()
+		t.util[[2]string{a.Name, ""}] = st[0].GuestCPU + st[0].Dom0CPU
+	}
+	sort.Strings(t.apps)
+	for _, a := range apps {
+		for _, b := range apps {
+			bb := b
+			bb.Name = b.Name + "~peer"
+			st, err := host.Steady([]xen.AppSpec{a, bb})
+			if err != nil {
+				return nil, err
+			}
+			key := [2]string{a.Name, b.Name}
+			t.rate[key] = st[0].ProgressRate
+			t.iops[key] = st[0].IOPS
+			t.util[key] = st[0].GuestCPU + st[0].Dom0CPU
+		}
+	}
+	return t, nil
+}
+
+// Apps returns the application names, sorted.
+func (t *InterferenceTable) Apps() []string {
+	return append([]string(nil), t.apps...)
+}
+
+// Has reports whether the table knows app.
+func (t *InterferenceTable) Has(app string) bool {
+	_, ok := t.soloRT[app]
+	return ok
+}
+
+// SoloRuntime returns the measured no-interference runtime of app.
+func (t *InterferenceTable) SoloRuntime(app string) float64 {
+	return t.soloRT[app]
+}
+
+// SoloIOPS returns the measured no-interference throughput of app.
+func (t *InterferenceTable) SoloIOPS(app string) float64 {
+	return t.soloIO[app]
+}
+
+// Ops returns the total I/O request count of one task of app.
+func (t *InterferenceTable) Ops(app string) float64 {
+	return t.soloOps[app]
+}
+
+// Rate returns app's progress rate (solo-seconds per wall second, in
+// (0, 1]) while co-located with neighbour ("" = running alone).
+func (t *InterferenceTable) Rate(app, neighbour string) float64 {
+	if neighbour == "" {
+		return 1
+	}
+	r, ok := t.rate[[2]string{app, neighbour}]
+	if !ok {
+		return 1
+	}
+	return r
+}
+
+// Util returns the CPU utilization (guest vCPU plus attributable Dom0
+// work) app drives while co-located with neighbour — the basis of the
+// simulator's energy accounting.
+func (t *InterferenceTable) Util(app, neighbour string) float64 {
+	u, ok := t.util[[2]string{app, neighbour}]
+	if !ok {
+		return t.util[[2]string{app, ""}]
+	}
+	return u
+}
+
+// IOPS returns app's throughput while co-located with neighbour.
+func (t *InterferenceTable) IOPS(app, neighbour string) float64 {
+	if neighbour == "" {
+		return t.soloIO[app]
+	}
+	io, ok := t.iops[[2]string{app, neighbour}]
+	if !ok {
+		return t.soloIO[app]
+	}
+	return io
+}

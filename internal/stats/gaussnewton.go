@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"errors"
+	"math"
+
+	"tracon/internal/mat"
+)
+
+// ResidualFunc computes the residual vector r(θ) = y − ŷ(θ) for a parameter
+// vector θ. The optimizer minimizes ‖r(θ)‖².
+type ResidualFunc func(theta []float64) []float64
+
+// GaussNewtonConfig tunes the iterative solver ([11] in the paper).
+type GaussNewtonConfig struct {
+	MaxIter int     // iteration budget (default 50)
+	Tol     float64 // relative SSE improvement below which we stop (default 1e-10)
+	// Damping enables a Levenberg-style fallback: when a pure Gauss-Newton
+	// step fails to reduce SSE, the step is recomputed with an increasing
+	// diagonal penalty until it does (or the penalty saturates).
+	Damping bool
+}
+
+// ErrNoProgress is returned when the solver cannot reduce the objective at
+// all from the starting point.
+var ErrNoProgress = errors.New("stats: gauss-newton made no progress")
+
+// GaussNewton minimizes ‖r(θ)‖² starting from theta0. The Jacobian is
+// estimated by forward differences, which is exact in the limit for the
+// polynomial models TRACON fits and adequate for the smooth responses here.
+// It returns the optimized parameters and the final SSE.
+func GaussNewton(r ResidualFunc, theta0 []float64, cfg GaussNewtonConfig) ([]float64, float64, error) {
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 50
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-10
+	}
+	theta := append([]float64(nil), theta0...)
+	res := r(theta)
+	sse := mat.Dot(res, res)
+	if math.IsNaN(sse) || math.IsInf(sse, 0) {
+		return nil, 0, errors.New("stats: non-finite residual at start")
+	}
+
+	improvedEver := false
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		jac := numericJacobian(r, theta, res)
+		step, err := solveStep(jac, res, 0)
+		lambda := 0.0
+		for {
+			if err == nil {
+				trial := mat.AddVec(theta, step)
+				tres := r(trial)
+				tsse := mat.Dot(tres, tres)
+				if !math.IsNaN(tsse) && tsse < sse {
+					rel := (sse - tsse) / (sse + 1e-300)
+					theta, res, sse = trial, tres, tsse
+					improvedEver = true
+					if rel < cfg.Tol {
+						return theta, sse, nil
+					}
+					break
+				}
+			}
+			if !cfg.Damping {
+				if improvedEver {
+					return theta, sse, nil
+				}
+				return nil, 0, ErrNoProgress
+			}
+			// Increase damping and retry.
+			if lambda == 0 {
+				lambda = 1e-6
+			} else {
+				lambda *= 10
+			}
+			if lambda > 1e8 {
+				if improvedEver {
+					return theta, sse, nil
+				}
+				return nil, 0, ErrNoProgress
+			}
+			step, err = solveStep(jac, res, lambda)
+		}
+	}
+	return theta, sse, nil
+}
+
+// solveStep solves (JᵀJ + λI)·δ = Jᵀr for the Gauss-Newton step δ.
+// Note the sign convention: r = y − ŷ, so ŷ moves toward y along +δ.
+func solveStep(jac *mat.Matrix, res []float64, lambda float64) ([]float64, error) {
+	jt := jac.T()
+	jtj := jt.Mul(jac)
+	n := jtj.Rows()
+	for i := 0; i < n; i++ {
+		jtj.Set(i, i, jtj.At(i, i)+lambda)
+	}
+	jtr := jt.MulVec(res)
+	l, err := mat.Cholesky(jtj)
+	if err != nil {
+		return nil, err
+	}
+	return mat.CholeskySolve(l, jtr)
+}
+
+// numericJacobian estimates ∂ŷ/∂θ (equivalently −∂r/∂θ) by forward
+// differences, reusing the residual at theta.
+func numericJacobian(r ResidualFunc, theta, res []float64) *mat.Matrix {
+	m, p := len(res), len(theta)
+	jac := mat.New(m, p)
+	for j := 0; j < p; j++ {
+		h := 1e-7 * (1 + math.Abs(theta[j]))
+		bumped := append([]float64(nil), theta...)
+		bumped[j] += h
+		rb := r(bumped)
+		for i := 0; i < m; i++ {
+			// r = y − ŷ  ⇒  ∂ŷ/∂θ = −∂r/∂θ = (r(θ) − r(θ+h))/h.
+			jac.Set(i, j, (res[i]-rb[i])/h)
+		}
+	}
+	return jac
+}
+
+// FitGaussNewton fits the same term-based model as OLS but through the
+// Gauss-Newton solver, as the paper does for its nonlinear models. For a
+// model linear in its parameters Gauss-Newton converges in a single step to
+// the OLS solution; the entry point exists so the NLM training path
+// exercises the paper's algorithm and so that non-polynomial responses can
+// reuse it.
+func FitGaussNewton(x *mat.Matrix, y []float64, terms []Term, cfg GaussNewtonConfig) (*Fit, error) {
+	n := x.Rows()
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	p := len(terms) + 1
+	if n < p {
+		return nil, ErrUnderdetermined
+	}
+	resFn := func(theta []float64) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			raw := x.RawRow(i)
+			pred := theta[0]
+			for k, t := range terms {
+				pred += theta[k+1] * t.Eval(raw)
+			}
+			out[i] = y[i] - pred
+		}
+		return out
+	}
+	theta0 := make([]float64, p)
+	theta0[0] = mat.Mean(y) // start at the intercept-only model
+	theta, sse, err := GaussNewton(resFn, theta0, cfg)
+	if err == ErrNoProgress {
+		// Already optimal at start (e.g. constant y); keep theta0.
+		theta = theta0
+		r0 := resFn(theta0)
+		sse = mat.Dot(r0, r0)
+	} else if err != nil {
+		return nil, err
+	}
+	return &Fit{
+		Terms:     append([]Term(nil), terms...),
+		Intercept: theta[0],
+		Coef:      append([]float64(nil), theta[1:]...),
+		SSE:       sse,
+		N:         n,
+	}, nil
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("N/Mean = %d/%v", s.N, s.Mean)
+	}
+	// Sample stddev of this classic data set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("Stddev = %v want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Stddev != 0 || s.Median != 42 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {200, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 7
+		w.Add(x)
+		xs = append(xs, x)
+	}
+	s := Summarize(xs)
+	if math.Abs(w.Mean()-s.Mean) > 1e-10 {
+		t.Fatalf("Welford mean %v vs batch %v", w.Mean(), s.Mean)
+	}
+	if math.Abs(w.Variance()-s.Variance) > 1e-10 {
+		t.Fatalf("Welford variance %v vs batch %v", w.Variance(), s.Variance)
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	// Min <= P25 <= Median <= P75 <= Max and Min <= Mean <= Max.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+		}
+		s := Summarize(xs)
+		ordered := s.Min <= s.P25+1e-9 && s.P25 <= s.Median+1e-9 &&
+			s.Median <= s.P75+1e-9 && s.P75 <= s.Max+1e-9
+		meanOK := s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+		return ordered && meanOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

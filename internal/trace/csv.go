@@ -1,0 +1,67 @@
+// Package trace exports experiment results as machine-readable artifacts
+// (CSV), so the regenerated tables and figures can be plotted or diffed
+// against the paper without re-running the simulations.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Table is a rectangular result: a header plus rows.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Tabular is implemented by experiment results that can render themselves
+// as a table.
+type Tabular interface {
+	Table() Table
+}
+
+// Write streams the table as CSV.
+func Write(w io.Writer, t Table) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Header) && len(t.Header) > 0 {
+			return fmt.Errorf("trace: row has %d fields, header has %d", len(row), len(t.Header))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Save writes the table to a CSV file, creating parent directories.
+func Save(path string, t Table) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// F formats a float for CSV cells.
+func F(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// I formats an int for CSV cells.
+func I(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tab := Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"x,y", "z"}},
+	}
+	if err := Write(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma not quoted: %q", out)
+	}
+}
+
+func TestWriteRejectsRaggedRows(t *testing.T) {
+	var buf bytes.Buffer
+	tab := Table{Header: []string{"a", "b"}, Rows: [][]string{{"only-one"}}}
+	if err := Write(&buf, tab); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestSaveCreatesDirectories(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "deep", "out.csv")
+	tab := Table{Header: []string{"v"}, Rows: [][]string{{F(1.5)}, {I(7)}}}
+	if err := Save(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "v\n1.5\n7\n"
+	if string(data) != want {
+		t.Fatalf("file = %q want %q", data, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.125) != "0.125" {
+		t.Fatalf("F = %q", F(0.125))
+	}
+	if I(-3) != "-3" {
+		t.Fatalf("I = %q", I(-3))
+	}
+}

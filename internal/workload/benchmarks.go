@@ -1,0 +1,142 @@
+// Package workload defines the applications and workload generators of the
+// TRACON evaluation: the eight data-intensive benchmarks of Table 3, the
+// Calc/SeqRead micro-apps of Table 1, the 125 synthetic profiling workloads
+// of Section 3.1, the Gaussian light/medium/heavy mixes of Section 4.1 and
+// the Poisson arrival process of Section 4.7.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"tracon/internal/xen"
+)
+
+// Benchmark couples an application spec with the Table 3 metadata that the
+// experiments report.
+type Benchmark struct {
+	Spec xen.AppSpec
+	// Category and Description mirror Table 3.
+	Category    string
+	Description string
+	// DataSizeGB is the nominal input size from Table 3.
+	DataSizeGB float64
+	// IORank is the Table 3 I/O-intensity rank (1 = lowest IOPS,
+	// 8 = highest). The Gaussian workload mixes sample over this rank.
+	IORank int
+	// HasRuntimeMetric is false for the web benchmark: FileBench takes the
+	// runtime as an input, so the paper evaluates web on IOPS only.
+	HasRuntimeMetric bool
+}
+
+// Benchmarks returns the eight data-intensive applications of Table 3.
+// Demand totals are chosen so that each benchmark's *solo measured IOPS*
+// on the default host reproduces the Table 3 intensity ranking
+// (email < web < blastp < compile < freqmine < blastn < dedup < video)
+// with solo runtimes in the hundreds of seconds, matching the scale of the
+// paper's testbed runs. See benchmarks_test.go for the asserted ordering.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Spec: xen.AppSpec{
+				Name: "blastn", CPUSeconds: 150,
+				ReadOps: 240000, WriteOps: 10000,
+				ReqSizeKB: 64, Seq: 0.85, MaxIODepth: 2,
+			},
+			Category: "Bioinformatics", Description: "DNA sequence similarity searching",
+			DataSizeGB: 12, IORank: 6, HasRuntimeMetric: true,
+		},
+		{
+			Spec: xen.AppSpec{
+				Name: "blastp", CPUSeconds: 600,
+				ReadOps: 14000, WriteOps: 1000,
+				ReqSizeKB: 64, Seq: 0.8, MaxIODepth: 2,
+			},
+			Category: "Bioinformatics", Description: "Protein sequence similarity searching",
+			DataSizeGB: 11, IORank: 3, HasRuntimeMetric: true,
+		},
+		{
+			Spec: xen.AppSpec{
+				Name: "compile", CPUSeconds: 180,
+				ReadOps: 45000, WriteOps: 30000,
+				ReqSizeKB: 8, Seq: 0.45, MaxIODepth: 1,
+			},
+			Category: "Software development", Description: "Linux kernel compilation",
+			DataSizeGB: 2.1, IORank: 4, HasRuntimeMetric: true,
+		},
+		{
+			Spec: xen.AppSpec{
+				Name: "dedup", CPUSeconds: 80,
+				ReadOps: 250000, WriteOps: 125000,
+				ReqSizeKB: 32, Seq: 0.9, MaxIODepth: 4,
+			},
+			Category: "System administration", Description: "Data compression and deduplication",
+			DataSizeGB: 0.672, IORank: 7, HasRuntimeMetric: true,
+		},
+		{
+			Spec: xen.AppSpec{
+				Name: "email", CPUSeconds: 60, ThinkSeconds: 560,
+				ReadOps: 1500, WriteOps: 1500,
+				ReqSizeKB: 4, Seq: 0.1, MaxIODepth: 1,
+			},
+			Category: "Server application", Description: "Email server workload benchmark",
+			DataSizeGB: 1.6, IORank: 1, HasRuntimeMetric: true,
+		},
+		{
+			Spec: xen.AppSpec{
+				Name: "freqmine", CPUSeconds: 120,
+				ReadOps: 90000, WriteOps: 5000,
+				ReqSizeKB: 16, Seq: 0.75, MaxIODepth: 2,
+			},
+			Category: "Data mining", Description: "Frequent itemset mining",
+			DataSizeGB: 0.206, IORank: 5, HasRuntimeMetric: true,
+		},
+		{
+			Spec: xen.AppSpec{
+				Name: "video", CPUSeconds: 40,
+				ReadOps: 500000, WriteOps: 250000,
+				ReqSizeKB: 64, Seq: 1.0, MaxIODepth: 1,
+			},
+			Category: "Multimedia processing", Description: "H.264 video encoding",
+			DataSizeGB: 1.5, IORank: 8, HasRuntimeMetric: true,
+		},
+		{
+			Spec: xen.AppSpec{
+				Name: "web", CPUSeconds: 40, ThinkSeconds: 480,
+				ReadOps: 4500, WriteOps: 500,
+				ReqSizeKB: 4, Seq: 0.05, MaxIODepth: 10,
+			},
+			Category: "Server application", Description: "Web server workload benchmark",
+			DataSizeGB: 0.16, IORank: 2, HasRuntimeMetric: false,
+		},
+	}
+}
+
+// BenchmarkByName returns the named benchmark.
+func BenchmarkByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Spec.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// BenchmarksByRank returns the benchmarks sorted by their Table 3
+// I/O-intensity rank (ascending), so index k holds rank k+1. The Gaussian
+// workload mixes index into this ordering.
+func BenchmarksByRank() []Benchmark {
+	bs := Benchmarks()
+	sort.Slice(bs, func(i, j int) bool { return bs[i].IORank < bs[j].IORank })
+	return bs
+}
+
+// Names returns the benchmark names in Table 3 order.
+func Names() []string {
+	bs := Benchmarks()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Spec.Name
+	}
+	return out
+}

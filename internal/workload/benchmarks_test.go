@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tracon/internal/xen"
+)
+
+func testbed(t *testing.T) *xen.Testbed {
+	t.Helper()
+	h, err := xen.NewHost(xen.DefaultHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xen.NewTestbed(h, 3, 0, 1)
+}
+
+func TestEightBenchmarksValid(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("want 8 benchmarks, got %d", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if err := b.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Spec.Name, err)
+		}
+		if seen[b.Spec.Name] {
+			t.Errorf("duplicate benchmark %s", b.Spec.Name)
+		}
+		seen[b.Spec.Name] = true
+	}
+}
+
+func TestRanksAreAPermutation(t *testing.T) {
+	seen := map[int]string{}
+	for _, b := range Benchmarks() {
+		if b.IORank < 1 || b.IORank > 8 {
+			t.Fatalf("%s rank %d out of range", b.Spec.Name, b.IORank)
+		}
+		if prev, ok := seen[b.IORank]; ok {
+			t.Fatalf("rank %d assigned to both %s and %s", b.IORank, prev, b.Spec.Name)
+		}
+		seen[b.IORank] = b.Spec.Name
+	}
+}
+
+// The Table 3 reproduction criterion: measured solo IOPS must follow the
+// paper's intensity ranking exactly.
+func TestSoloIOPSFollowsTable3Ranking(t *testing.T) {
+	tb := testbed(t)
+	prev := -1.0
+	for _, b := range BenchmarksByRank() {
+		p, err := tb.ProfileSolo(b.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IOPS <= prev {
+			t.Fatalf("%s (rank %d) has IOPS %v, not above previous rank's %v",
+				b.Spec.Name, b.IORank, p.IOPS, prev)
+		}
+		prev = p.IOPS
+	}
+}
+
+func TestSoloRuntimesAreTestbedScale(t *testing.T) {
+	// The paper's benchmark runs are minutes-scale; wildly short or long
+	// solo runtimes would distort every scheduling experiment.
+	tb := testbed(t)
+	for _, b := range Benchmarks() {
+		p, err := tb.ProfileSolo(b.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Runtime < 120 || p.Runtime > 3600 {
+			t.Errorf("%s solo runtime %v outside [120s, 1h]", b.Spec.Name, p.Runtime)
+		}
+	}
+}
+
+func TestBenchmarkByName(t *testing.T) {
+	b, err := BenchmarkByName("blastn")
+	if err != nil || b.Spec.Name != "blastn" {
+		t.Fatalf("lookup failed: %v %v", b, err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestOnlyWebLacksRuntimeMetric(t *testing.T) {
+	for _, b := range Benchmarks() {
+		want := b.Spec.Name != "web"
+		if b.HasRuntimeMetric != want {
+			t.Errorf("%s HasRuntimeMetric = %v", b.Spec.Name, b.HasRuntimeMetric)
+		}
+	}
+}
+
+// Table 1 calibration bands: the simulated testbed must reproduce the
+// paper's interference ratios in shape and approximate magnitude.
+func TestTable1CalibrationBands(t *testing.T) {
+	tb := testbed(t)
+	type band struct{ lo, hi float64 }
+	want := map[string]map[Table1Background]band{
+		"calc": {
+			BGCPUHigh:    {1.8, 2.2},  // paper: 1.96
+			BGIOHigh:     {1.1, 1.5},  // paper: 1.26
+			BGBothMedium: {1.45, 2.1}, // paper: 1.77
+			BGBothHigh:   {2.1, 3.0},  // paper: 2.52
+		},
+		"seqread": {
+			BGCPUHigh:    {0.95, 1.15}, // paper: 1.03
+			BGIOHigh:     {8, 17},      // paper: 10.23
+			BGBothMedium: {1.5, 3.2},   // paper: 1.78
+			BGBothHigh:   {13, 25},     // paper: 16.11
+		},
+	}
+	apps := map[string]xen.AppSpec{"calc": Calc(), "seqread": SeqRead()}
+	for name, app := range apps {
+		for bg, b := range want[name] {
+			sd, err := tb.Slowdown(app, bg.Spec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sd < b.lo || sd > b.hi {
+				t.Errorf("Table1 %s vs %s: slowdown %.2f outside [%v, %v]", name, bg, sd, b.lo, b.hi)
+			}
+		}
+	}
+}
+
+// The headline ordering of Table 1: for the data-intensive probe,
+// CPU-only ≪ both-medium < IO-only < both-high.
+func TestTable1Ordering(t *testing.T) {
+	tb := testbed(t)
+	sr := SeqRead()
+	var vals []float64
+	for _, bg := range []Table1Background{BGCPUHigh, BGBothMedium, BGIOHigh, BGBothHigh} {
+		sd, err := tb.Slowdown(sr, bg.Spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, sd)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			t.Fatalf("Table 1 ordering violated: %v", vals)
+		}
+	}
+}
+
+func TestProfilingGridShape(t *testing.T) {
+	ws := ProfilingWorkloads(xen.HDD())
+	if len(ws) != 125 {
+		t.Fatalf("grid has %d workloads, want 125", len(ws))
+	}
+	// First point is the idle VM.
+	if ws[0].CPULevel != 0 || ws[0].ReadLevel != 0 || ws[0].WriteLevel != 0 {
+		t.Fatalf("grid[0] = %+v, want the idle point", ws[0])
+	}
+	if ws[0].Spec.CPUDemand != 0 || ws[0].Spec.TargetReadRate != 0 {
+		t.Fatal("idle point has nonzero demand")
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if err := w.Spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.Spec.Name, err)
+		}
+		if !w.Spec.Endless {
+			t.Fatalf("%s: profiling workloads must be endless", w.Spec.Name)
+		}
+		if seen[w.Spec.Name] {
+			t.Fatalf("duplicate synthetic name %s", w.Spec.Name)
+		}
+		seen[w.Spec.Name] = true
+	}
+}
+
+func TestProfilingGridSpansSizes(t *testing.T) {
+	sizes := map[float64]bool{}
+	seqs := map[float64]bool{}
+	for _, w := range ProfilingWorkloads(xen.HDD()) {
+		sizes[w.Spec.ReqSizeKB] = true
+		seqs[w.Spec.Seq] = true
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("grid spans only %d request sizes", len(sizes))
+	}
+	// The generator's access pattern is fixed (one large file, sequential):
+	// sequentiality must NOT vary, or the models would face a hidden
+	// variable none of the four monitored characteristics can express.
+	if len(seqs) != 1 {
+		t.Fatalf("grid spans %d sequentialities, want exactly 1", len(seqs))
+	}
+}
+
+func TestRateForLevelMonotone(t *testing.T) {
+	d := xen.HDD()
+	prev := -1.0
+	for _, l := range IntensityLevels {
+		r := RateForLevel(l, d, 64)
+		if r < prev {
+			t.Fatalf("rate not monotone at level %v", l)
+		}
+		prev = r
+	}
+	if RateForLevel(0, d, 64) != 0 {
+		t.Fatal("level 0 must be rate 0")
+	}
+	if RateForLevel(1, d, 64) < d.MaxSeqIOPS(64) {
+		t.Fatal("level 1 must saturate the device")
+	}
+}
+
+func TestMixerGaussianMeansOrdered(t *testing.T) {
+	m := NewMixer(1)
+	avgRank := func(mix IOIntensity) float64 {
+		sum := 0.0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			sum += float64(m.Draw(mix).IORank)
+		}
+		return sum / n
+	}
+	l, md, h := avgRank(LightIO), avgRank(MediumIO), avgRank(HeavyIO)
+	if !(l < md && md < h) {
+		t.Fatalf("mix mean ranks not ordered: light=%v medium=%v heavy=%v", l, md, h)
+	}
+	if math.Abs(l-2.5) > 0.5 || math.Abs(md-4.0) > 0.5 || math.Abs(h-5.5) > 0.5 {
+		t.Fatalf("mix means too far from paper's 2.5/4/5.5: %v %v %v", l, md, h)
+	}
+}
+
+func TestMixerDeterministic(t *testing.T) {
+	a := NewMixer(7).Batch(MediumIO, 20)
+	b := NewMixer(7).Batch(MediumIO, 20)
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("mixer not deterministic")
+		}
+	}
+}
+
+func TestBatchNamesUniqueAndParseable(t *testing.T) {
+	batch := NewMixer(3).Batch(HeavyIO, 32)
+	if len(batch) != 32 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	seen := map[string]bool{}
+	for _, spec := range batch {
+		if seen[spec.Name] {
+			t.Fatalf("duplicate instance name %s", spec.Name)
+		}
+		seen[spec.Name] = true
+		base := BaseName(spec.Name)
+		if strings.Contains(base, "#") {
+			t.Fatalf("BaseName failed on %s", spec.Name)
+		}
+		if _, err := BenchmarkByName(base); err != nil {
+			t.Fatalf("instance %s has unknown base %s", spec.Name, base)
+		}
+	}
+}
+
+func TestUniformBatchCoversAllApps(t *testing.T) {
+	batch := NewMixer(5).UniformBatch(400)
+	counts := map[string]int{}
+	for _, spec := range batch {
+		counts[BaseName(spec.Name)]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("uniform sampling hit %d of 8 apps", len(counts))
+	}
+}
+
+func TestArrivalsPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lambda := 30.0 // per minute
+	horizon := 3600.0
+	times := Arrivals(rng, lambda, horizon)
+	want := lambda / 60 * horizon
+	if math.Abs(float64(len(times))-want)/want > 0.15 {
+		t.Fatalf("got %d arrivals, want ≈%v", len(times), want)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatal("arrival times not sorted")
+		}
+	}
+	if len(times) > 0 && (times[0] < 0 || times[len(times)-1] >= horizon) {
+		t.Fatal("arrival outside horizon")
+	}
+}
+
+func TestArrivalsDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Arrivals(rng, 0, 100) != nil {
+		t.Fatal("zero rate must yield no arrivals")
+	}
+	if Arrivals(rng, 10, 0) != nil {
+		t.Fatal("zero horizon must yield no arrivals")
+	}
+}
+
+// Property: every batch instance's spec equals its base benchmark's spec
+// except for the name.
+func TestBatchSpecsMatchBase(t *testing.T) {
+	f := func(seed int64) bool {
+		m := NewMixer(seed)
+		for _, spec := range m.Batch(MediumIO, 10) {
+			b, err := BenchmarkByName(BaseName(spec.Name))
+			if err != nil {
+				return false
+			}
+			want := b.Spec
+			want.Name = spec.Name
+			if spec != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

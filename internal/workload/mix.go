@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tracon/internal/xen"
+)
+
+// IOIntensity selects one of the paper's three workload mixes (Sec. 4.1):
+// benchmark ranks are sampled from a Gaussian over the Table 3 I/O ranking
+// with means 2.5 (light), 4 (medium) and 5.5 (heavy).
+type IOIntensity int
+
+// The three mixes.
+const (
+	LightIO IOIntensity = iota
+	MediumIO
+	HeavyIO
+)
+
+// String returns the mix label used in the figures.
+func (m IOIntensity) String() string {
+	switch m {
+	case LightIO:
+		return "light"
+	case MediumIO:
+		return "medium"
+	case HeavyIO:
+		return "heavy"
+	default:
+		return "unknown"
+	}
+}
+
+// Mean returns the Gaussian mean over ranks for the mix.
+func (m IOIntensity) Mean() float64 {
+	switch m {
+	case LightIO:
+		return 2.5
+	case MediumIO:
+		return 4.0
+	case HeavyIO:
+		return 5.5
+	default:
+		return 4.0
+	}
+}
+
+// Stddev returns the spread of the rank Gaussian for the mix. The paper
+// gives only the means; the spreads are chosen so each mix behaves as the
+// text describes: the medium mix spans the whole intensity range ("a
+// mixture of workloads"), while the heavy mix concentrates on the
+// I/O-hungry benchmarks ("almost all combinations in this workload likely
+// severely interfere with each other").
+func (m IOIntensity) Stddev() float64 {
+	switch m {
+	case LightIO:
+		return 1.2
+	case MediumIO:
+		return 2.0
+	case HeavyIO:
+		return 0.9
+	default:
+		return 1.5
+	}
+}
+
+// Mixer draws benchmark instances for workload mixes. It is deterministic
+// for a given seed.
+type Mixer struct {
+	rng    *rand.Rand
+	byRank []Benchmark
+}
+
+// NewMixer returns a Mixer seeded deterministically.
+func NewMixer(seed int64) *Mixer {
+	return &Mixer{
+		rng:    rand.New(rand.NewSource(seed)),
+		byRank: BenchmarksByRank(),
+	}
+}
+
+// Draw samples one benchmark according to the mix's rank Gaussian.
+func (m *Mixer) Draw(mix IOIntensity) Benchmark {
+	mean := mix.Mean()
+	for {
+		r := m.rng.NormFloat64()*mix.Stddev() + mean
+		rank := int(math.Round(r))
+		if rank >= 1 && rank <= len(m.byRank) {
+			return m.byRank[rank-1]
+		}
+	}
+}
+
+// DrawUniform samples one benchmark uniformly (Sec. 4.4's batches).
+func (m *Mixer) DrawUniform() Benchmark {
+	return m.byRank[m.rng.Intn(len(m.byRank))]
+}
+
+// Batch draws n benchmark instances for the mix, giving each task instance
+// a unique name suffix so traces stay readable.
+func (m *Mixer) Batch(mix IOIntensity, n int) []xen.AppSpec {
+	out := make([]xen.AppSpec, n)
+	for i := range out {
+		b := m.Draw(mix)
+		spec := b.Spec
+		spec.Name = fmt.Sprintf("%s#%d", b.Spec.Name, i)
+		out[i] = spec
+	}
+	return out
+}
+
+// UniformBatch draws n benchmark instances uniformly at random.
+func (m *Mixer) UniformBatch(n int) []xen.AppSpec {
+	out := make([]xen.AppSpec, n)
+	for i := range out {
+		b := m.DrawUniform()
+		spec := b.Spec
+		spec.Name = fmt.Sprintf("%s#%d", b.Spec.Name, i)
+		out[i] = spec
+	}
+	return out
+}
+
+// BaseName strips the "#i" instance suffix added by Batch, recovering the
+// benchmark name.
+func BaseName(instance string) string {
+	for i := 0; i < len(instance); i++ {
+		if instance[i] == '#' {
+			return instance[:i]
+		}
+	}
+	return instance
+}
+
+// Arrivals generates Poisson task arrival times (Sec. 4.7): rate λ tasks
+// per minute over the given horizon in seconds. The returned times are in
+// seconds, sorted ascending.
+func Arrivals(rng *rand.Rand, lambdaPerMinute float64, horizonSeconds float64) []float64 {
+	if lambdaPerMinute <= 0 || horizonSeconds <= 0 {
+		return nil
+	}
+	ratePerSecond := lambdaPerMinute / 60
+	var times []float64
+	t := 0.0
+	for {
+		// Exponential inter-arrival times.
+		t += rng.ExpFloat64() / ratePerSecond
+		if t >= horizonSeconds {
+			return times
+		}
+		times = append(times, t)
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+
+	"tracon/internal/xen"
+)
+
+// The profiling workload generator of Section 3.1: CPU utilization and
+// read/write request rates are each driven at five intensities
+// (0%, 25%, 50%, 75%, 100%), giving 5×5×5 = 125 background workloads.
+// The (0,0,0) point is the idle VM, so the grid also covers the paper's
+// "no interference" baseline.
+
+// IntensityLevels are the five generator settings.
+var IntensityLevels = []float64{0, 0.25, 0.5, 0.75, 1.0}
+
+// profileSizesKB cycles request sizes across grid points so that the
+// training data spans the Dom0-cost dimension (per-KB driver-domain work),
+// not just raw request rates.
+var profileSizesKB = []float64{4, 16, 64, 256}
+
+// profileSeqs is the stream sequentiality of the generator. The paper's
+// generator reads from / writes to one large file, so its access pattern is
+// sequential; varying it here would inject a hidden variable that none of
+// the four monitored characteristics can observe.
+var profileSeqs = []float64{1.0}
+
+// RateForLevel maps an intensity level to a target request rate for the
+// given disk and request size: the fraction of the device's sequential
+// capacity at that size. The top setting is unthrottled (closed loop).
+func RateForLevel(level float64, disk xen.DiskParams, sizeKB float64) float64 {
+	if level <= 0 {
+		return 0
+	}
+	if level >= 1 {
+		return 1e9 // unthrottled: closed loop, device-limited
+	}
+	return level * disk.MaxSeqIOPS(sizeKB)
+}
+
+// SyntheticWorkload is one profiling grid point.
+type SyntheticWorkload struct {
+	Spec xen.AppSpec
+	// CPULevel, ReadLevel, WriteLevel are the generator settings in [0,1].
+	CPULevel, ReadLevel, WriteLevel float64
+	// Index is the position in the 125-point grid.
+	Index int
+}
+
+// ProfilingWorkloads returns the 125 synthetic background workloads used to
+// profile an application's interference behaviour, for the given device.
+func ProfilingWorkloads(disk xen.DiskParams) []SyntheticWorkload {
+	var out []SyntheticWorkload
+	idx := 0
+	for _, cl := range IntensityLevels {
+		for _, rl := range IntensityLevels {
+			for _, wl := range IntensityLevels {
+				size := profileSizesKB[idx%len(profileSizesKB)]
+				seq := profileSeqs[(idx/len(profileSizesKB))%len(profileSeqs)]
+				spec := xen.AppSpec{
+					Name:            fmt.Sprintf("synth-%03d-c%.0f-r%.0f-w%.0f", idx, cl*100, rl*100, wl*100),
+					Endless:         true,
+					CPUDemand:       cl,
+					TargetReadRate:  RateForLevel(rl, disk, size),
+					TargetWriteRate: RateForLevel(wl, disk, size),
+					ReqSizeKB:       size,
+					Seq:             seq,
+					MaxIODepth:      4,
+				}
+				out = append(out, SyntheticWorkload{
+					Spec: spec, CPULevel: cl, ReadLevel: rl, WriteLevel: wl, Index: idx,
+				})
+				idx++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package workload
+
+import "tracon/internal/xen"
+
+// Table 1 of the paper measures two probe applications against four classes
+// of co-located interference. These are the corresponding specs for the
+// simulated testbed.
+
+// Calc is the CPU-intensive probe of Table 1: pure arithmetic, no I/O.
+func Calc() xen.AppSpec {
+	return xen.AppSpec{Name: "calc", CPUSeconds: 600, ReqSizeKB: 4}
+}
+
+// SeqRead is the data-intensive probe of Table 1: a large sequential read.
+func SeqRead() xen.AppSpec {
+	return xen.AppSpec{
+		Name: "seqread", CPUSeconds: 5,
+		ReadOps: 100000, ReqSizeKB: 64, Seq: 1.0, MaxIODepth: 4,
+	}
+}
+
+// Table1Background identifies one interference class (one column of
+// Table 1).
+type Table1Background int
+
+// The four Table 1 interference classes.
+const (
+	BGCPUHigh Table1Background = iota
+	BGIOHigh
+	BGBothMedium
+	BGBothHigh
+)
+
+// String returns the paper's column label.
+func (b Table1Background) String() string {
+	switch b {
+	case BGCPUHigh:
+		return "CPU High"
+	case BGIOHigh:
+		return "I/O High"
+	case BGBothMedium:
+		return "CPU&I/O Medium"
+	case BGBothHigh:
+		return "CPU&I/O High"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec returns the background generator for the interference class. The
+// "medium" class reflects what the paper's workload generator actually
+// achieves at its middle setting: the spinner reaches ≈40% utilization
+// (sleep quantization) and the paced I/O thread issues a few tens of
+// requests per second.
+func (b Table1Background) Spec() xen.AppSpec {
+	switch b {
+	case BGCPUHigh:
+		return xen.AppSpec{Name: "bg-cpu-high", Endless: true, CPUDemand: 1.0, ReqSizeKB: 4}
+	case BGIOHigh:
+		return xen.AppSpec{
+			Name: "bg-io-high", Endless: true, CPUDemand: 0.05,
+			TargetReadRate: 1e9, ReqSizeKB: 64, Seq: 1.0, MaxIODepth: 4,
+		}
+	case BGBothMedium:
+		return xen.AppSpec{
+			Name: "bg-both-med", Endless: true, CPUDemand: 0.40,
+			TargetReadRate: 45, ReqSizeKB: 64, Seq: 1.0, MaxIODepth: 4,
+		}
+	case BGBothHigh:
+		return xen.AppSpec{
+			Name: "bg-both-high", Endless: true, CPUDemand: 1.0,
+			TargetReadRate: 1e9, ReqSizeKB: 64, Seq: 1.0, MaxIODepth: 4,
+		}
+	default:
+		return xen.Idle()
+	}
+}
+
+// Table1Backgrounds returns the four classes in column order.
+func Table1Backgrounds() []Table1Background {
+	return []Table1Background{BGCPUHigh, BGIOHigh, BGBothMedium, BGBothHigh}
+}

@@ -1,0 +1,140 @@
+// Package xen models the virtualized host testbed the TRACON paper measured
+// on: a Xen-style physical machine with a driver domain (Dom0) that performs
+// I/O on behalf of guest domains, a credit-scheduled CPU shared by the guest
+// vCPUs, and a storage device whose effective throughput collapses when
+// concurrent streams destroy sequentiality.
+//
+// The paper ran eight real benchmarks on real hardware and replayed the
+// measured interference inside its data-center simulator. This package is
+// the substitute for that hardware: a fluid contention model, solved to a
+// fixed point, that produces per-application runtime and IOPS under
+// co-location. All coefficients are exposed in HostConfig and the defaults
+// are calibrated against the paper's Table 1 ratios (see host_test.go).
+package xen
+
+import "fmt"
+
+// DiskParams characterizes a storage device. Per-request service time is
+//
+//	cost(seq, sizeKB) = OverheadMs + sizeKB·TransferMsPerKB + (1−seq)·RandomPenaltyMs
+//
+// where seq ∈ [0,1] is the effective sequentiality of the request stream.
+// A fully sequential stream pays only transfer cost; a fully random stream
+// pays seek + rotational latency on every request.
+type DiskParams struct {
+	Name string
+	// OverheadMs is the fixed per-request cost (controller, command setup).
+	OverheadMs float64
+	// TransferMsPerKB is the data transfer time per KB.
+	TransferMsPerKB float64
+	// RandomPenaltyMs is the seek + rotational cost paid by a fully random
+	// request (scaled down by sequentiality).
+	RandomPenaltyMs float64
+	// WritePenaltyFactor scales the cost of writes relative to reads
+	// (journalling, read-modify-write). 1 = symmetric.
+	WritePenaltyFactor float64
+	// SeqDisruption controls how much a competing I/O stream destroys this
+	// device's sequential locality: effSeq = seq·(1 − SeqDisruption·otherShare).
+	// Rotational media suffer badly; SSDs barely notice.
+	SeqDisruption float64
+}
+
+// CostMs returns the per-request service time in milliseconds for a request
+// of sizeKB at effective sequentiality seq, for a read (isWrite=false) or
+// write.
+func (d DiskParams) CostMs(seq, sizeKB float64, isWrite bool) float64 {
+	if seq < 0 {
+		seq = 0
+	} else if seq > 1 {
+		seq = 1
+	}
+	c := d.OverheadMs + sizeKB*d.TransferMsPerKB + (1-seq)*d.RandomPenaltyMs
+	if isWrite {
+		c *= d.WritePenaltyFactor
+	}
+	return c
+}
+
+// MaxSeqIOPS returns the device's peak IOPS for a fully sequential read
+// stream of the given request size — a convenient normalization for the
+// workload generator's intensity levels.
+func (d DiskParams) MaxSeqIOPS(sizeKB float64) float64 {
+	return 1000 / d.CostMs(1, sizeKB, false)
+}
+
+// HDD returns the paper's testbed device: a 1 TB 7200 RPM SATA drive
+// (≈100 MB/s sequential, ≈8.5 ms average seek, ≈4.2 ms rotational latency).
+func HDD() DiskParams {
+	return DiskParams{
+		Name:               "hdd",
+		OverheadMs:         0.05,
+		TransferMsPerKB:    0.01, // 100 MB/s ≈ 0.01 ms/KB
+		RandomPenaltyMs:    12.5, // seek + half-rotation
+		WritePenaltyFactor: 1.15,
+		SeqDisruption:      0.55,
+	}
+}
+
+// ISCSI returns a network-attached volume (Fig 7's remote storage): every
+// request additionally crosses the network, sequential bandwidth is lower,
+// and the array cache softens but does not remove the random penalty.
+func ISCSI() DiskParams {
+	return DiskParams{
+		Name:               "iscsi",
+		OverheadMs:         2.5,  // network round trips + target processing
+		TransferMsPerKB:    0.06, // ≈16 MB/s over the storage network
+		RandomPenaltyMs:    9.0,  // array cache absorbs part of the seeks
+		WritePenaltyFactor: 1.3,
+		SeqDisruption:      0.25,
+	}
+}
+
+// RAID0 returns a striped array of n drives of the paper's HDD class — one
+// of the storage systems the paper names as future work. Striping divides
+// the transfer time across members and lets the array absorb more
+// concurrent streams before sequentiality collapses (each member serves a
+// narrower slice of the interleaved request mix), but every request still
+// pays the mechanical positioning cost of its slowest member.
+func RAID0(n int) DiskParams {
+	if n < 1 {
+		n = 1
+	}
+	base := HDD()
+	return DiskParams{
+		Name:               fmt.Sprintf("raid0x%d", n),
+		OverheadMs:         base.OverheadMs + 0.02, // controller striping cost
+		TransferMsPerKB:    base.TransferMsPerKB / float64(n),
+		RandomPenaltyMs:    base.RandomPenaltyMs * 1.05, // slowest-member effect
+		WritePenaltyFactor: base.WritePenaltyFactor,
+		SeqDisruption:      base.SeqDisruption / (1 + 0.25*float64(n-1)),
+	}
+}
+
+// RAID10 returns a mirrored-striped array of n drives (n even): reads
+// behave like a RAID0 of n members, but every write lands on two members,
+// so writes see only half the stripe bandwidth.
+func RAID10(n int) DiskParams {
+	if n < 2 {
+		n = 2
+	}
+	d := RAID0(n)
+	d.Name = fmt.Sprintf("raid10x%d", n)
+	d.WritePenaltyFactor = 2 * HDD().WritePenaltyFactor
+	return d
+}
+
+// SSD returns a solid-state device (the paper's future-work storage class):
+// no mechanical penalty, so interference comes almost solely from bandwidth
+// sharing and Dom0 CPU.
+func SSD() DiskParams {
+	return DiskParams{
+		Name:               "ssd",
+		OverheadMs:         0.08,
+		TransferMsPerKB:    0.004, // 250 MB/s
+		RandomPenaltyMs:    0.15,
+		WritePenaltyFactor: 1.05,
+		SeqDisruption:      0.05,
+	}
+}
+
+func (d DiskParams) String() string { return fmt.Sprintf("disk(%s)", d.Name) }

@@ -1,0 +1,443 @@
+package xen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HostConfig describes one physical machine of the testbed. The defaults
+// (DefaultHost) are calibrated so that the Table 1 interference ratios of
+// the paper are reproduced; see host_test.go for the asserted bands.
+type HostConfig struct {
+	// GuestCPUCap is the CPU capacity shared by guest vCPUs. The paper's
+	// testbed multiplexes both guest vCPUs on one core (Table 1's CPU/CPU
+	// slowdown of ≈2×), so the default is 1.0.
+	GuestCPUCap float64
+	// Dom0CPUCap is the CPU capacity available to the driver domain.
+	Dom0CPUCap float64
+	// Dom0PerOpMs is the driver-domain CPU cost per I/O request (event
+	// channel, grant mapping, block backend).
+	Dom0PerOpMs float64
+	// Dom0PerKBMs is the driver-domain CPU cost per KB transferred (page
+	// grant copies). This is what makes Dom0 CPU an informative model
+	// feature beyond raw request rates.
+	Dom0PerKBMs float64
+	// CrossDelayMs is the additional per-request latency an application
+	// suffers when a co-located guest burns CPU while also sharing the
+	// I/O path: the driver domain's processing of this app's requests gets
+	// delayed behind the busy vCPU (the Table 1 "CPU & I/O" 16× effect).
+	// The delay applied is CrossDelayMs · (other guests' CPU use) ·
+	// (other guests' share of the I/O stream).
+	CrossDelayMs float64
+	// Dom0StealFrac is the fraction of Dom0's CPU consumption that is stolen
+	// from the guest CPU capacity (interrupt handling and event-channel
+	// processing run on the guests' core). This produces Table 1's 1.26×
+	// slowdown of a pure CPU task next to an I/O-heavy neighbour.
+	Dom0StealFrac float64
+	// Disk is the storage device model.
+	Disk DiskParams
+
+	// MaxIters and Damping control the fixed-point solver.
+	MaxIters int
+	Damping  float64
+
+	// MicroSliceMs is the per-stream disk slice of the per-request
+	// micro-simulator (see microsim.go); zero takes the default.
+	MicroSliceMs float64
+}
+
+// DefaultHost returns the calibrated testbed machine: one core's worth of
+// guest CPU, a dedicated core for Dom0, and the HDD of the paper's Dell
+// machines.
+func DefaultHost() HostConfig {
+	return HostConfig{
+		GuestCPUCap:   1.0,
+		Dom0CPUCap:    1.0,
+		Dom0PerOpMs:   0.25,
+		Dom0PerKBMs:   0.004,
+		CrossDelayMs:  3.0,
+		Dom0StealFrac: 0.25,
+		Disk:          HDD(),
+		MaxIters:      3000,
+		Damping:       0.15,
+	}
+}
+
+// Host evaluates steady-state contention between co-located applications.
+type Host struct {
+	cfg HostConfig
+}
+
+// NewHost validates the configuration and returns a Host.
+func NewHost(cfg HostConfig) (*Host, error) {
+	if cfg.GuestCPUCap <= 0 || cfg.Dom0CPUCap <= 0 {
+		return nil, fmt.Errorf("xen: CPU capacities must be positive, got guest=%v dom0=%v", cfg.GuestCPUCap, cfg.Dom0CPUCap)
+	}
+	if cfg.Disk.TransferMsPerKB < 0 || cfg.Disk.OverheadMs < 0 {
+		return nil, fmt.Errorf("xen: invalid disk parameters %+v", cfg.Disk)
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 3000
+	}
+	if cfg.Damping <= 0 || cfg.Damping > 1 {
+		cfg.Damping = 0.15
+	}
+	return &Host{cfg: cfg}, nil
+}
+
+// Config returns the host configuration.
+func (h *Host) Config() HostConfig { return h.cfg }
+
+// AppSteady is the steady-state behaviour of one application while the
+// given co-location lasts.
+type AppSteady struct {
+	// Runtime is the completion time of a finite app under these steady
+	// conditions (Inf for endless generators).
+	Runtime float64
+	// Slowdown is Runtime relative to the same app running alone.
+	Slowdown float64
+	// ProgressRate is 1/Slowdown: solo-seconds of progress per wall second.
+	ProgressRate float64
+	// IOPS is the achieved request throughput (reads+writes per second).
+	IOPS float64
+	// ReadPerSec and WritePerSec split IOPS by direction.
+	ReadPerSec, WritePerSec float64
+	// GuestCPU is the guest vCPU utilization (0..GuestCPUCap).
+	GuestCPU float64
+	// Dom0CPU is the driver-domain CPU utilization attributable to this
+	// app's I/O.
+	Dom0CPU float64
+	// LatencyMs is the per-request I/O latency.
+	LatencyMs float64
+}
+
+// Steady solves the contention fixed point for a set of co-located apps and
+// returns the steady-state behaviour of each. Finite apps are assumed to be
+// mid-execution (their demands persist for the duration of the phase);
+// endless apps persist by construction. The phase-structured pair
+// measurement in measure.go stitches these solutions together.
+func (h *Host) Steady(apps []AppSpec) ([]AppSteady, error) {
+	n := len(apps)
+	if n == 0 {
+		return nil, fmt.Errorf("xen: no applications")
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	soloLat := make([]float64, n) // per-request latency when alone (ms)
+	soloRt := make([]float64, n)  // solo runtime of finite apps (s)
+	for i, a := range apps {
+		soloLat[i] = h.soloLatencyMs(a)
+		if !a.Endless {
+			soloRt[i] = h.finiteRuntime(a, 1, h.soloIOPSCeiling(a))
+		}
+	}
+
+	// Iterated state.
+	lat := append([]float64(nil), soloLat...) // current latency estimate (ms)
+	stretch := make([]float64, n)             // CPU stretch factor (>=1)
+	iops := make([]float64, n)
+	cpuUsed := make([]float64, n)
+	ceils := make([]float64, n) // achievable IOPS ceiling, refreshed each iteration
+	for i, a := range apps {
+		stretch[i] = 1
+		ceils[i] = h.soloIOPSCeiling(a)
+	}
+	// Initialize rates from the solo solution.
+	for i, a := range apps {
+		iops[i] = h.initialIOPS(a, soloLat[i], soloRt[i])
+		cpuUsed[i] = h.initialCPU(a, soloRt[i])
+	}
+
+	d := h.cfg.Damping
+	for iter := 0; iter < h.cfg.MaxIters; iter++ {
+		totalIOPS := 0.0
+		for i := range apps {
+			totalIOPS += iops[i]
+		}
+
+		// Dom0 load: if demand exceeds its capacity, all I/O is throttled
+		// proportionally; whatever Dom0 does consume steals a fraction of
+		// the guests' CPU capacity (interrupt/event-channel work).
+		dom0Demand := 0.0
+		for i, a := range apps {
+			dom0Demand += iops[i] * h.dom0PerOpMs(a) / 1000
+		}
+		dom0Throttle := 1.0
+		if dom0Demand > h.cfg.Dom0CPUCap {
+			dom0Throttle = h.cfg.Dom0CPUCap / dom0Demand
+		}
+		dom0Used := math.Min(dom0Demand, h.cfg.Dom0CPUCap)
+		guestCap := h.cfg.GuestCPUCap - h.cfg.Dom0StealFrac*dom0Used
+		if guestCap < 0.05*h.cfg.GuestCPUCap {
+			guestCap = 0.05 * h.cfg.GuestCPUCap
+		}
+
+		// Guest CPU water-fill over current demands.
+		demands := make([]float64, n)
+		for i, a := range apps {
+			demands[i] = h.cpuDemand(a, lat[i])
+		}
+		alloc := waterfill(demands, guestCap)
+
+		// Per-app effective service time (device cost at disrupted
+		// sequentiality, plus the Dom0 cross delay, during which the disk
+		// sits idle on this stream).
+		newLat := make([]float64, n)
+		newStretch := make([]float64, n)
+		service := make([]float64, n) // ms of device occupancy per request
+		desired := make([]float64, n) // requests/second the app would issue unconstrained
+		for i, a := range apps {
+			othersIOPS := totalIOPS - iops[i]
+			otherShare := 0.0
+			if totalIOPS > 1e-12 {
+				otherShare = othersIOPS / totalIOPS
+			}
+			cEff := h.mixedCostMs(a, h.effSeq(a, iops[i], othersIOPS))
+
+			otherCPU := 0.0
+			for j := range apps {
+				if j != i {
+					otherCPU += cpuUsed[j]
+				}
+			}
+			crossDelay := h.cfg.CrossDelayMs * otherCPU * otherShare
+
+			service[i] = cEff + crossDelay
+			newLat[i] = service[i] + h.dom0PerOpMs(a)/dom0Throttle
+
+			if alloc[i] > 1e-12 && demands[i] > alloc[i] {
+				newStretch[i] = demands[i] / alloc[i]
+			} else {
+				newStretch[i] = 1
+			}
+
+			closedLoop := a.depth() * 1000 / newLat[i]
+			if a.Endless {
+				desired[i] = math.Min(a.TargetReadRate+a.TargetWriteRate, closedLoop)
+			} else if a.TotalOps() > 0 {
+				rtUnc := h.finiteRuntime(a, newStretch[i], closedLoop)
+				desired[i] = a.TotalOps() / rtUnc
+			}
+		}
+
+		// The disk scheduler shares device time fairly among demanding
+		// streams: each stream's long-run busy-time entitlement is
+		// water-filled from its *average* demand...
+		wantTime := make([]float64, n)
+		for i := range apps {
+			wantTime[i] = desired[i] * service[i] / 1000
+		}
+		tAlloc := waterfill(wantTime, 1.0)
+		totalAlloc := 0.0
+		for _, v := range tAlloc {
+			totalAlloc += v
+		}
+
+		// ...but during its own I/O phases an app bursts into whatever
+		// device time the others leave idle. Using the average entitlement
+		// as the burst ceiling would double-count the app's CPU and think
+		// time (a mostly-idle mail server would appear to throttle its own
+		// bursts).
+		maxDelta := 0.0
+		for i, a := range apps {
+			idleShare := 1 - (totalAlloc - tAlloc[i])
+			if idleShare < 0.05 {
+				idleShare = 0.05
+			}
+			ioCeiling := a.depth() * 1000 / newLat[i] // closed loop on latency
+			if service[i] > 1e-12 {
+				ioCeiling = math.Min(ioCeiling, idleShare*1000/service[i])
+			}
+			ioCeiling *= dom0Throttle
+			ceils[i] = (1-d)*ceils[i] + d*ioCeiling
+			ioCeiling = ceils[i]
+			var nIOPS, nCPU float64
+			if a.Endless {
+				nIOPS = math.Min(desired[i], ioCeiling)
+				nCPU = alloc[i]
+				if a.CPUDemand < nCPU {
+					nCPU = a.CPUDemand
+				}
+			} else {
+				rt := h.finiteRuntime(a, newStretch[i], ioCeiling)
+				nIOPS = a.TotalOps() / rt
+				nCPU = a.CPUSeconds / rt // actual CPU seconds consumed per wall second
+			}
+			for _, delta := range []float64{math.Abs(nIOPS - iops[i]), math.Abs(nCPU - cpuUsed[i]), math.Abs(newLat[i] - lat[i])} {
+				if delta > maxDelta {
+					maxDelta = delta
+				}
+			}
+			iops[i] = (1-d)*iops[i] + d*nIOPS
+			cpuUsed[i] = (1-d)*cpuUsed[i] + d*nCPU
+			lat[i] = (1-d)*lat[i] + d*newLat[i]
+			stretch[i] = (1-d)*stretch[i] + d*newStretch[i]
+		}
+		if maxDelta < 1e-10 {
+			break
+		}
+	}
+
+	out := make([]AppSteady, n)
+	for i, a := range apps {
+		rf := a.ReadFraction()
+		s := AppSteady{
+			IOPS:        iops[i],
+			ReadPerSec:  iops[i] * rf,
+			WritePerSec: iops[i] * (1 - rf),
+			GuestCPU:    cpuUsed[i],
+			Dom0CPU:     iops[i] * h.dom0PerOpMs(a) / 1000,
+			LatencyMs:   lat[i],
+		}
+		if a.Endless {
+			s.Runtime = math.Inf(1)
+			s.Slowdown = 1
+			s.ProgressRate = 1
+		} else {
+			rt := h.finiteRuntime(a, stretch[i], ceils[i])
+			s.Runtime = rt
+			s.Slowdown = rt / soloRt[i]
+			if s.Slowdown < 1 {
+				// Numerical fuzz can land microscopically below 1; a co-run
+				// can never beat solo in this model.
+				s.Slowdown = 1
+				s.Runtime = soloRt[i]
+			}
+			s.ProgressRate = 1 / s.Slowdown
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// soloLatencyMs returns the per-request latency of app a running alone.
+func (h *Host) soloLatencyMs(a AppSpec) float64 {
+	return h.mixedCostMs(a, a.Seq) + h.dom0PerOpMs(a)
+}
+
+// effSeq returns the effective sequentiality of app a's stream. The
+// probability that one of my requests pays a seek is roughly the chance a
+// competitor's request was served since my previous one, which grows with
+// the competitor's request rate relative to mine and saturates smoothly:
+// r/(1+r) where r = othersRate/myRate. A slow competitor barely dents a
+// fast sequential stream; an equally hungry one interleaves half the
+// requests; a much faster one interleaves nearly all of them.
+func (h *Host) effSeq(a AppSpec, myIOPS, othersIOPS float64) float64 {
+	if othersIOPS <= 0 {
+		return a.Seq
+	}
+	if myIOPS < 1 {
+		myIOPS = 1
+	}
+	r := othersIOPS / myIOPS
+	interleave := r / (1 + r)
+	return a.Seq * (1 - h.cfg.Disk.SeqDisruption*interleave)
+}
+
+// soloIOPSCeiling returns the request rate app a can reach when alone:
+// closed-loop on its own latency, capped by the device.
+func (h *Host) soloIOPSCeiling(a AppSpec) float64 {
+	lat := h.soloLatencyMs(a)
+	device := 1000 / h.mixedCostMs(a, a.Seq)
+	return math.Min(a.depth()*1000/lat, device)
+}
+
+// finiteRuntime computes the completion time of a finite app whose CPU is
+// stretched by the given factor and whose I/O proceeds at iopsEff.
+func (h *Host) finiteRuntime(a AppSpec, stretchFactor, iopsEff float64) float64 {
+	rt := a.CPUSeconds*stretchFactor + a.ThinkSeconds
+	if ops := a.TotalOps(); ops > 0 {
+		if iopsEff < 1e-9 {
+			iopsEff = 1e-9
+		}
+		rt += ops / iopsEff
+	}
+	return rt
+}
+
+// mixedCostMs returns the read/write-weighted device service time at the
+// given effective sequentiality.
+func (h *Host) mixedCostMs(a AppSpec, effSeq float64) float64 {
+	rf := a.ReadFraction()
+	return rf*h.cfg.Disk.CostMs(effSeq, a.ReqSizeKB, false) +
+		(1-rf)*h.cfg.Disk.CostMs(effSeq, a.ReqSizeKB, true)
+}
+
+// dom0PerOpMs returns the driver-domain CPU milliseconds consumed per
+// request of app a.
+func (h *Host) dom0PerOpMs(a AppSpec) float64 {
+	return h.cfg.Dom0PerOpMs + h.cfg.Dom0PerKBMs*a.ReqSizeKB
+}
+
+// cpuDemand returns the guest CPU fraction app a would consume at the
+// current latency if CPU were uncontended.
+func (h *Host) cpuDemand(a AppSpec, latMs float64) float64 {
+	if a.Endless {
+		return a.CPUDemand
+	}
+	rt := a.CPUSeconds + a.TotalOps()/a.depth()*latMs/1000 + a.ThinkSeconds
+	if rt <= 0 {
+		return 0
+	}
+	return a.CPUSeconds / rt
+}
+
+func (h *Host) initialIOPS(a AppSpec, soloLatMs, soloRt float64) float64 {
+	if a.Endless {
+		closedLoop := a.depth() / (soloLatMs / 1000)
+		return math.Min(a.TargetReadRate+a.TargetWriteRate, closedLoop)
+	}
+	if soloRt <= 0 {
+		return 0
+	}
+	return a.TotalOps() / soloRt
+}
+
+func (h *Host) initialCPU(a AppSpec, soloRt float64) float64 {
+	if a.Endless {
+		return a.CPUDemand
+	}
+	if soloRt <= 0 {
+		return 0
+	}
+	return a.CPUSeconds / soloRt
+}
+
+// waterfill distributes capacity among demands with equal entitlements:
+// every demand below its fair share is fully satisfied, and the remainder
+// is split equally among the rest — the behaviour of Xen's credit scheduler
+// with equal weights.
+func waterfill(demands []float64, capacity float64) []float64 {
+	n := len(demands)
+	alloc := make([]float64, n)
+	if n == 0 || capacity <= 0 {
+		return alloc
+	}
+	type entry struct {
+		d float64
+		i int
+	}
+	order := make([]entry, n)
+	for i, d := range demands {
+		order[i] = entry{d: d, i: i}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].d < order[b].d })
+	remaining := capacity
+	left := n
+	for _, e := range order {
+		share := remaining / float64(left)
+		give := e.d
+		if give > share {
+			give = share
+		}
+		alloc[e.i] = give
+		remaining -= give
+		left--
+	}
+	return alloc
+}

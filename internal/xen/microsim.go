@@ -1,0 +1,352 @@
+package xen
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// MicroSim is a discrete per-request simulation of one physical machine:
+// every I/O request is individually queued at the device (FCFS, with the
+// mechanical penalty charged when the head leaves a stream's locality),
+// guest CPU is processor-shared among runnable vCPUs, and Dom0 handling is
+// charged per request. It exists to cross-validate the fluid fixed-point
+// model in host.go — the substitution this repository makes for the
+// paper's real hardware — at request granularity. See microsim_test.go for
+// the agreement bands.
+//
+// Only finite applications are supported; each is executed as its natural
+// loop: compute a CPU slice, issue one I/O request, repeat (think time is
+// spread uniformly across iterations).
+type MicroSim struct {
+	cfg HostConfig
+}
+
+// NewMicroSim builds a per-request simulator for the host configuration.
+func NewMicroSim(cfg HostConfig) *MicroSim {
+	return &MicroSim{cfg: cfg}
+}
+
+// MicroResult is one application's outcome.
+type MicroResult struct {
+	Runtime float64
+	IOPS    float64
+}
+
+// microApp is the per-app execution state.
+type microApp struct {
+	spec      AppSpec
+	opsLeft   int
+	cpuPerOp  float64 // seconds of CPU before each request
+	thinkPer  float64 // seconds of idle before each request
+	cpuLeft   float64 // remaining CPU in the current slice
+	thinkLeft float64
+	state     microState
+	done      bool
+	finish    float64
+	totalOps  int
+}
+
+type microState int
+
+const (
+	msCompute microState = iota
+	msThink
+	msQueued  // request waiting at the device
+	msService // request being served
+	msDone
+)
+
+type microEvent struct {
+	time float64
+	seq  int64
+	kind int // 0: recompute checkpoint, 1: disk service complete, 2: think done
+	app  int
+}
+
+type microHeap []microEvent
+
+func (h microHeap) Len() int { return len(h) }
+func (h microHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h microHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *microHeap) Push(x interface{}) { *h = append(*h, x.(microEvent)) }
+func (h *microHeap) Pop() interface{} {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// Run executes the applications to completion and returns per-app results.
+// The simulation is deterministic.
+func (m *MicroSim) Run(specs []AppSpec) ([]MicroResult, error) {
+	n := len(specs)
+	if n == 0 {
+		return nil, fmt.Errorf("xen: microsim needs at least one app")
+	}
+	apps := make([]*microApp, n)
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if s.Endless {
+			return nil, fmt.Errorf("xen: microsim supports finite apps only (%s)", s.Name)
+		}
+		ops := int(s.TotalOps())
+		a := &microApp{spec: s, opsLeft: ops, totalOps: ops}
+		if ops > 0 {
+			a.cpuPerOp = s.CPUSeconds / float64(ops)
+			a.thinkPer = s.ThinkSeconds / float64(ops)
+		} else {
+			a.cpuPerOp = s.CPUSeconds
+			a.thinkLeft = s.ThinkSeconds
+		}
+		a.cpuLeft = a.cpuPerOp
+		a.state = msCompute
+		apps[i] = a
+	}
+
+	sliceMs := m.cfg.MicroSliceMs
+	if sliceMs <= 0 {
+		sliceMs = 3 // CFQ-style stream slice
+	}
+	var (
+		now         float64
+		seq         int64
+		events      microHeap
+		diskQueue   []int // app indices, FCFS arrival order
+		diskBusy    = -1  // app currently in service
+		lastServed  = -1  // stream owning the disk's locality
+		sliceUsedMs float64
+		lastCPUAt   float64
+	)
+	push := func(t float64, kind, app int) {
+		seq++
+		heap.Push(&events, microEvent{time: t, seq: seq, kind: kind, app: app})
+	}
+
+	computing := func() []int {
+		var out []int
+		for i, a := range apps {
+			if !a.done && a.state == msCompute {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	// settleCPU advances every computing app by the processor-shared
+	// amount since the last checkpoint.
+	settleCPU := func() {
+		comp := computing()
+		if len(comp) > 0 {
+			share := m.cfg.GuestCPUCap / float64(len(comp))
+			if share > 1 {
+				share = 1 // one vCPU cannot use more than one core
+			}
+			dt := now - lastCPUAt
+			for _, i := range comp {
+				apps[i].cpuLeft -= dt * share
+			}
+		}
+		lastCPUAt = now
+	}
+
+	serviceMs := func(i int, switched bool) float64 {
+		a := apps[i]
+		seqEff := a.spec.Seq
+		if switched {
+			seqEff = 0 // the head moved: full positioning cost
+		}
+		return m.cfg.Disk.CostMs(seqEff, a.spec.ReqSizeKB, a.spec.WriteOps > a.spec.ReadOps) +
+			m.cfg.Dom0PerOpMs + m.cfg.Dom0PerKBMs*a.spec.ReqSizeKB
+	}
+
+	serveIdx := func(qi int, switched bool) {
+		i := diskQueue[qi]
+		diskQueue = append(diskQueue[:qi], diskQueue[qi+1:]...)
+		cost := serviceMs(i, switched)
+		if switched {
+			// The positioning cost of moving the head does not consume the
+			// new owner's slice — the slice meters sequential service time.
+			lastServed = i
+			sliceUsedMs = 0
+		} else {
+			sliceUsedMs += cost
+		}
+		diskBusy = i
+		apps[i].state = msService
+		push(now+cost/1000, 1, i)
+	}
+
+	// startService implements a CFQ-style disk scheduler: the stream that
+	// owns the head keeps it for up to sliceMs of service (with
+	// anticipatory idling while its next synchronous request is en route);
+	// then the head moves to the longest-waiting other stream and pays the
+	// positioning cost. Without slices, two synchronous streams would
+	// alternate every request and the simulation would overstate seek
+	// thrash relative to any real disk scheduler.
+	startService := func() {
+		if diskBusy >= 0 {
+			return
+		}
+		if lastServed >= 0 && sliceUsedMs < sliceMs {
+			// The slice owner goes first if queued.
+			for qi, i := range diskQueue {
+				if i == lastServed {
+					serveIdx(qi, false)
+					return
+				}
+			}
+			// Anticipate: the owner is computing toward its next request —
+			// hold the disk briefly (its arrival event will retrigger us).
+			a := apps[lastServed]
+			if !a.done && a.state == msCompute && a.opsLeft > 0 {
+				return
+			}
+		}
+		if len(diskQueue) == 0 {
+			return
+		}
+		serveIdx(0, diskQueue[0] != lastServed)
+	}
+
+	// advance moves app i through its loop after finishing a stage.
+	var advance func(i int)
+	advance = func(i int) {
+		a := apps[i]
+		if a.done {
+			return
+		}
+		switch a.state {
+		case msCompute:
+			if a.cpuLeft > 1e-12 {
+				return // still computing; checkpoint will fire again
+			}
+			if a.opsLeft <= 0 {
+				// No I/O phase left: possibly think, then done.
+				if a.thinkLeft > 1e-12 {
+					a.state = msThink
+					push(now+a.thinkLeft, 2, i)
+					a.thinkLeft = 0
+					return
+				}
+				a.done = true
+				a.state = msDone
+				a.finish = now
+				return
+			}
+			a.state = msQueued
+			diskQueue = append(diskQueue, i)
+			startService()
+		case msThink:
+			a.done = true
+			a.state = msDone
+			a.finish = now
+		case msService:
+			a.opsLeft--
+			if a.thinkPer > 1e-12 {
+				a.state = msThink
+				push(now+a.thinkPer, 2, i)
+				return
+			}
+			a.startNextIteration(now)
+		}
+	}
+
+	scheduleCheckpoint := func() {
+		comp := computing()
+		if len(comp) == 0 {
+			return
+		}
+		share := m.cfg.GuestCPUCap / float64(len(comp))
+		if share > 1 {
+			share = 1
+		}
+		soonest := math.Inf(1)
+		who := -1
+		for _, i := range comp {
+			t := apps[i].cpuLeft / share
+			if t < soonest {
+				soonest, who = t, i
+			}
+		}
+		push(now+soonest, 0, who)
+	}
+
+	// Seed: every app starts computing (or straight to I/O if no CPU).
+	for i, a := range apps {
+		if a.cpuLeft <= 1e-12 {
+			a.state = msCompute
+			a.cpuLeft = 0
+			advance(i)
+		}
+	}
+	scheduleCheckpoint()
+
+	const maxEvents = 50_000_000
+	for steps := 0; events.Len() > 0; steps++ {
+		if steps > maxEvents {
+			return nil, fmt.Errorf("xen: microsim exceeded %d events", maxEvents)
+		}
+		ev := heap.Pop(&events).(microEvent)
+		if ev.time < now-1e-9 {
+			return nil, fmt.Errorf("xen: microsim time went backwards")
+		}
+		now = ev.time
+		settleCPU()
+		switch ev.kind {
+		case 0: // CPU checkpoint: whoever hit zero advances
+			for i, a := range apps {
+				if !a.done && a.state == msCompute && a.cpuLeft <= 1e-9 {
+					a.cpuLeft = 0
+					advance(i)
+				}
+			}
+		case 1: // disk service complete
+			diskBusy = -1
+			advance(ev.app)
+			startService()
+		case 2: // think done
+			a := apps[ev.app]
+			if a.state == msThink {
+				if a.opsLeft <= 0 && a.cpuLeft <= 1e-12 {
+					advance(ev.app)
+				} else {
+					a.startNextIteration(now)
+				}
+			}
+		}
+		scheduleCheckpoint()
+	}
+
+	out := make([]MicroResult, n)
+	for i, a := range apps {
+		if !a.done {
+			return nil, fmt.Errorf("xen: microsim app %s never finished", a.spec.Name)
+		}
+		r := MicroResult{Runtime: a.finish}
+		if a.totalOps > 0 && a.finish > 0 {
+			r.IOPS = float64(a.totalOps) / a.finish
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// startNextIteration begins the next compute slice (or finishes).
+func (a *microApp) startNextIteration(now float64) {
+	if a.opsLeft <= 0 && a.cpuLeft <= 1e-12 {
+		a.done = true
+		a.state = msDone
+		a.finish = now
+		return
+	}
+	a.state = msCompute
+	a.cpuLeft = a.cpuPerOp
+}

@@ -1,0 +1,163 @@
+package xen
+
+import (
+	"math"
+	"testing"
+)
+
+// The micro-simulator cross-validates the fluid fixed-point model: the two
+// independently-built executions of the same host must agree on the
+// qualitative interference structure, and quantitatively within bands.
+
+func microHost(t *testing.T) (*MicroSim, *Host) {
+	t.Helper()
+	cfg := DefaultHost()
+	return NewMicroSim(cfg), newTestHost(t)
+}
+
+func TestMicroSimSoloCPUOnly(t *testing.T) {
+	ms, _ := microHost(t)
+	res, err := ms.Run([]AppSpec{{Name: "calc", CPUSeconds: 100, ReqSizeKB: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].Runtime-100) > 1 {
+		t.Fatalf("solo CPU runtime %v want 100", res[0].Runtime)
+	}
+}
+
+func TestMicroSimTwoCPUHogsAgreeWithFluid(t *testing.T) {
+	ms, _ := microHost(t)
+	a := AppSpec{Name: "a", CPUSeconds: 50, ReqSizeKB: 4}
+	b := AppSpec{Name: "b", CPUSeconds: 50, ReqSizeKB: 4}
+	res, err := ms.Run([]AppSpec{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if math.Abs(r.Runtime-100) > 2 {
+			t.Fatalf("processor sharing broken: runtime %v want ≈100", r.Runtime)
+		}
+	}
+}
+
+func TestMicroSimSoloReaderMatchesFluidWithinBand(t *testing.T) {
+	ms, h := microHost(t)
+	// Depth-1 reader: both models describe a synchronous request loop.
+	app := AppSpec{Name: "sr", ReadOps: 20000, ReqSizeKB: 64, Seq: 1.0, CPUSeconds: 2}
+	micro, err := ms.Run([]AppSpec{app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid, err := h.Steady([]AppSpec{app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := micro[0].Runtime / fluid[0].Runtime
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("solo reader: micro %v vs fluid %v (ratio %v)", micro[0].Runtime, fluid[0].Runtime, ratio)
+	}
+}
+
+func TestMicroSimInterferenceStructure(t *testing.T) {
+	// The headline structure of Table 1 must emerge from per-request
+	// mechanics with no calibration: a CPU hog barely hurts a reader, a
+	// second reader devastates it.
+	ms, _ := microHost(t)
+	reader := AppSpec{Name: "r", ReadOps: 20000, ReqSizeKB: 64, Seq: 1.0, CPUSeconds: 2}
+	solo, err := ms.Run([]AppSpec{reader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog := AppSpec{Name: "hog", CPUSeconds: solo[0].Runtime * 2, ReqSizeKB: 4}
+	withHog, err := ms.Run([]AppSpec{reader, hog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := reader
+	twin.Name = "r2"
+	withTwin, err := ms.Run([]AppSpec{reader, twin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hogSlow := withHog[0].Runtime / solo[0].Runtime
+	twinSlow := withTwin[0].Runtime / solo[0].Runtime
+	if hogSlow > 1.3 {
+		t.Fatalf("CPU hog slowed the reader %vx; per-request mechanics disagree with Table 1", hogSlow)
+	}
+	if twinSlow < 4 {
+		t.Fatalf("twin reader slowed only %vx; expected severe seek thrash", twinSlow)
+	}
+}
+
+func TestMicroSimAgreesWithFluidOnReaderPair(t *testing.T) {
+	// The quantitative cross-check: two colliding sequential readers. The
+	// fluid model was calibrated against the paper's ≈10×; the independent
+	// per-request execution must land in the same regime (within 2× of the
+	// fluid slowdown).
+	ms, h := microHost(t)
+	reader := AppSpec{Name: "r", ReadOps: 20000, ReqSizeKB: 64, Seq: 1.0, CPUSeconds: 2}
+	twin := reader
+	twin.Name = "r2"
+
+	microSolo, err := ms.Run([]AppSpec{reader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	microPair, err := ms.Run([]AppSpec{reader, twin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	microSlow := microPair[0].Runtime / microSolo[0].Runtime
+
+	fluid, err := h.Steady([]AppSpec{reader, twin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluidSlow := fluid[0].Slowdown
+
+	ratio := microSlow / fluidSlow
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("reader-pair slowdown: micro %.1fx vs fluid %.1fx (ratio %.2f)", microSlow, fluidSlow, ratio)
+	}
+}
+
+func TestMicroSimThinkOnlyApp(t *testing.T) {
+	ms, _ := microHost(t)
+	res, err := ms.Run([]AppSpec{{Name: "sleepy", CPUSeconds: 5, ThinkSeconds: 95, ReqSizeKB: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].Runtime-100) > 1 {
+		t.Fatalf("think-only runtime %v want 100", res[0].Runtime)
+	}
+}
+
+func TestMicroSimRejectsEndless(t *testing.T) {
+	ms, _ := microHost(t)
+	if _, err := ms.Run([]AppSpec{Idle()}); err == nil {
+		t.Fatal("endless app accepted")
+	}
+	if _, err := ms.Run(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestMicroSimDeterministic(t *testing.T) {
+	ms, _ := microHost(t)
+	apps := []AppSpec{
+		{Name: "a", ReadOps: 5000, ReqSizeKB: 64, Seq: 1, CPUSeconds: 3},
+		{Name: "b", ReadOps: 3000, WriteOps: 1000, ReqSizeKB: 16, Seq: 0.5, CPUSeconds: 10},
+	}
+	r1, err := ms.Run(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ms.Run(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0] != r2[0] || r1[1] != r2[1] {
+		t.Fatal("microsim not deterministic")
+	}
+}
