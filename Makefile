@@ -1,0 +1,30 @@
+# Tier-1 gate plus the race pass that guards the parallel evaluation
+# engine. `make ci` is what a checkin must keep green.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench clean
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./... -count=1
+
+# Short mode keeps the race pass under ~2 minutes: the determinism golden
+# test drops to one seed and the heavyweight dynamic sweeps shrink their
+# dimensions (see testing.Short() guards in the _test files).
+race:
+	$(GO) test -short -race ./... -count=1
+
+# Regenerate the paper exhibits through the benchmark harness.
+bench:
+	$(GO) test -bench=. -benchmem -count=1 .
+
+clean:
+	$(GO) clean ./...

@@ -11,6 +11,8 @@ package tracon
 // reduced dimensions here; cmd/traconbench runs them at paper scale.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -365,6 +367,80 @@ func BenchmarkAblationForestModel(b *testing.B) {
 				name = "forest"
 			}
 			b.ReportMetric(tot/float64(len(e.BenchmarkNames()))*100, name+"-rt-err-%")
+		}
+	}
+}
+
+// --- Parallel evaluation engine benches. ---
+//
+// These quantify the worker-pool speedup of the parallel Env build and
+// experiment fan-out. On a single-core host they record ~parity (the pool
+// degrades to interleaved execution); with GOMAXPROCS ≥ 4 the parallel
+// variants should win roughly linearly until profiling becomes
+// memory-bound. Both variants produce byte-identical results — see
+// TestNewEnvParallelMatchesSequential.
+
+// BenchmarkNewEnvSequential measures the one-worker Env build: profiling
+// every benchmark, training three libraries and solving the n² pair table.
+func BenchmarkNewEnvSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewEnvParallel(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewEnvParallel measures the same build fanned across a
+// GOMAXPROCS-wide worker pool (at least 4 so the shape of the fan-out is
+// exercised even on small hosts).
+func BenchmarkNewEnvParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewEnvParallel(1, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRunnerSuite is the experiment slice the Runner benches fan out:
+// one table plus two figure experiments of distinct cost profiles.
+func benchRunnerSuite() []experiments.Experiment {
+	return []experiments.Experiment{
+		{Name: "table1", Run: func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table1(e) }},
+		{Name: "fig4", Run: func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Fig4(e, 4) }},
+		{Name: "fig9", Run: func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Fig9(e, []float64{2, 50}, 1) }},
+	}
+}
+
+// BenchmarkRunnerSequential runs the slice on one worker.
+func BenchmarkRunnerSequential(b *testing.B) {
+	e := experimentEnv(b)
+	suite := benchRunnerSuite()
+	for i := 0; i < b.N; i++ {
+		for _, oc := range (experiments.Runner{Workers: 1}).Run(e, suite) {
+			if oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunnerParallel fans the same slice across the worker pool.
+func BenchmarkRunnerParallel(b *testing.B) {
+	e := experimentEnv(b)
+	suite := benchRunnerSuite()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for i := 0; i < b.N; i++ {
+		for _, oc := range (experiments.Runner{Workers: workers}).Run(e, suite) {
+			if oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
 		}
 	}
 }

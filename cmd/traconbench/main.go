@@ -1,13 +1,16 @@
 // Command traconbench regenerates the TRACON paper's evaluation: every
 // table and figure of Section 4, printed as text tables. Individual
 // experiments are selected with -only; the heavyweight dynamic sweeps can
-// be trimmed with -hours and -quick.
+// be trimmed with -hours and -quick. Environment construction and the
+// experiment sweep fan out across -parallel workers (default GOMAXPROCS);
+// the output bytes are identical at every worker count.
 //
 // Usage:
 //
 //	traconbench                 # everything, paper-scale where feasible
 //	traconbench -quick          # reduced machine counts and horizons
 //	traconbench -only fig3,fig7 # a subset
+//	traconbench -parallel 1     # sequential reference run
 //	traconbench -spotcheck      # include the 10,000-machine run
 package main
 
@@ -17,6 +20,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,8 +39,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		spotcheck = flag.Bool("spotcheck", false, "also run the 10,000-machine Sec 4.8 spot check")
 		csvDir    = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for env construction and experiment fan-out (1 = sequential)")
 	)
 	flag.Parse()
+	if *parallel < 1 {
+		*parallel = 1
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -44,68 +52,41 @@ func main() {
 			want[strings.TrimSpace(name)] = true
 		}
 	}
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	opts := experiments.DefaultSuiteOptions(*quick)
+	opts.SpotCheck = *spotcheck
+	if *hours > 0 {
+		opts.DynHours = *hours
+	}
+	suite, err := experiments.SelectExperiments(experiments.Suite(opts), want)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	start := time.Now()
-	fmt.Fprintln(os.Stderr, "building environment (profiling 8 apps × 125 workloads, training models)...")
-	env, err := experiments.NewEnv(*seed)
+	fmt.Fprintf(os.Stderr, "building environment (profiling 8 apps × 125 workloads, training models, %d workers)...\n", *parallel)
+	env, err := experiments.NewEnvParallel(*seed, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "environment ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	staticMachines := []int{8, 64, 256, 1024}
-	dynMachines := []int{8, 64, 256, 1024}
-	lambdas := []float64{2, 5, 10, 20, 50, 100}
-	dynHours := 10.0
-	repeats := 3
-	if *quick {
-		staticMachines = []int{8, 64}
-		dynMachines = []int{8, 64}
-		lambdas = []float64{2, 10, 50}
-		dynHours = 2
-		repeats = 2
-	}
-	if *hours > 0 {
-		dynHours = *hours
-	}
-
-	section := func(name string, run func() (fmt.Stringer, error)) {
-		if !sel(name) {
-			return
+	runner := experiments.Runner{Workers: *parallel}
+	for _, oc := range runner.Run(env, suite) {
+		if oc.Err != nil {
+			log.Fatalf("%s: %v", oc.Name, oc.Err)
 		}
-		t0 := time.Now()
-		res, err := run()
-		if err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
-		fmt.Println(res.String())
+		fmt.Println(oc.Result.String())
 		if *csvDir != "" {
-			if tab, ok := res.(trace.Tabular); ok {
-				path := filepath.Join(*csvDir, name+".csv")
+			if tab, ok := oc.Result.(trace.Tabular); ok {
+				path := filepath.Join(*csvDir, oc.Name+".csv")
 				if err := trace.Save(path, tab.Table()); err != nil {
-					log.Fatalf("%s: writing %s: %v", name, path, err)
+					log.Fatalf("%s: writing %s: %v", oc.Name, path, err)
 				}
-				fmt.Fprintf(os.Stderr, "[%s CSV → %s]\n", name, path)
+				fmt.Fprintf(os.Stderr, "[%s CSV → %s]\n", oc.Name, path)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
-	}
-
-	section("table1", func() (fmt.Stringer, error) { return experiments.Table1(env) })
-	section("fig3", func() (fmt.Stringer, error) { return experiments.Fig3(env) })
-	section("fig4", func() (fmt.Stringer, error) { return experiments.Fig4(env, 10) })
-	section("fig5", func() (fmt.Stringer, error) { return experiments.Fig5(env) })
-	section("fig6", func() (fmt.Stringer, error) { return experiments.Fig6(env) })
-	section("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(env) })
-	section("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(env, staticMachines, repeats) })
-	section("fig9", func() (fmt.Stringer, error) { return experiments.Fig9(env, lambdas, dynHours) })
-	section("fig10", func() (fmt.Stringer, error) { return experiments.Fig10(env, lambdas, dynHours) })
-	section("fig11", func() (fmt.Stringer, error) { return experiments.Fig11(env, dynMachines, dynHours) })
-	section("fig12", func() (fmt.Stringer, error) { return experiments.Fig12(env, dynMachines, dynHours) })
-	section("storage", func() (fmt.Stringer, error) { return experiments.StorageStudy(env) })
-	if *spotcheck {
-		section("spotcheck", func() (fmt.Stringer, error) { return experiments.SpotCheck10k(env, 2) })
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", oc.Name, oc.Elapsed.Round(time.Millisecond))
 	}
 
 	fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"tracon/internal/model"
+	"tracon/internal/par"
 	"tracon/internal/sched"
 	"tracon/internal/sim"
 	"tracon/internal/workload"
@@ -38,9 +39,29 @@ type Env struct {
 	Seed int64
 }
 
-// NewEnv measures, profiles and trains everything once. With the default
-// settings this takes a few seconds.
+// NewEnv measures, profiles and trains everything once, sequentially. With
+// the default settings this takes a few seconds; NewEnvParallel produces
+// the identical Env using a bounded worker pool.
 func NewEnv(seed int64) (*Env, error) {
+	return NewEnvParallel(seed, 1)
+}
+
+// envLibraryKinds are the model families every Env trains, in build order.
+var envLibraryKinds = []model.Kind{model.WMM, model.LM, model.NLM}
+
+// NewEnvParallel builds the Env with up to workers concurrent goroutines:
+// the eight per-benchmark profiling runs fan out first (each worker on its
+// own testbed clone), then the three model-family trainings and the
+// interference-table solves. workers <= 1 is the sequential reference
+// build.
+//
+// Parallel construction is byte-identical to sequential construction for
+// the same seed: testbed measurement noise is key-addressed (derived from
+// the seed and the measurement's name, never from call order), every
+// concurrent stage writes into its own index of a pre-sized slice, and the
+// Env's maps are assembled on the calling goroutine in benchmark order.
+// The determinism tests assert this equivalence.
+func NewEnvParallel(seed int64, workers int) (*Env, error) {
 	hostCfg := xen.DefaultHost()
 	host, err := xen.NewHost(hostCfg)
 	if err != nil {
@@ -61,31 +82,63 @@ func NewEnv(seed int64) (*Env, error) {
 		e.Backgrounds = append(e.Backgrounds, w.Spec)
 	}
 
-	prof := &model.Profiler{TB: tb}
+	// Stage 1: per-benchmark profiling (the 8 × 125 measurement sweep plus
+	// solo runs). Each job owns a testbed clone, so no state is shared even
+	// though a shared testbed would be safe; clones keep the same seed, so
+	// the key-addressed noise reproduces the sequential measurements.
+	type profiled struct {
+		ts   *model.TrainingSet
+		solo xen.SoloProfile
+	}
+	profs := make([]profiled, len(e.Benchmarks))
+	err = par.ForEach(workers, len(e.Benchmarks), func(i int) error {
+		wtb := tb.Clone()
+		prof := &model.Profiler{TB: wtb}
+		ts, err := prof.Profile(e.Benchmarks[i].Spec, e.Backgrounds)
+		if err != nil {
+			return err
+		}
+		solo, err := wtb.ProfileSolo(e.Benchmarks[i].Spec)
+		if err != nil {
+			return err
+		}
+		profs[i] = profiled{ts: ts, solo: solo}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var specs []xen.AppSpec
-	for _, b := range e.Benchmarks {
-		ts, err := prof.Profile(b.Spec, e.Backgrounds)
-		if err != nil {
-			return nil, err
-		}
-		solo, err := tb.ProfileSolo(b.Spec)
-		if err != nil {
-			return nil, err
-		}
-		e.TrainingSets[b.Spec.Name] = ts
-		e.Solo[b.Spec.Name] = solo
+	for i, b := range e.Benchmarks {
+		e.TrainingSets[b.Spec.Name] = profs[i].ts
+		e.Solo[b.Spec.Name] = profs[i].solo
 		specs = append(specs, b.Spec)
 	}
-	for _, k := range []model.Kind{model.WMM, model.LM, model.NLM} {
-		lib := model.NewLibrary(k)
+
+	// Stage 2: once the profiles land, the three model-family trainings
+	// are independent — one job per family, each library owned by exactly
+	// one job while it trains.
+	libs := make([]*model.Library, len(envLibraryKinds))
+	err = par.ForEach(workers, len(envLibraryKinds), func(i int) error {
+		lib := model.NewLibrary(envLibraryKinds[i])
 		for _, b := range e.Benchmarks {
 			if err := lib.Add(e.TrainingSets[b.Spec.Name], e.Solo[b.Spec.Name]); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		e.Libraries[k] = lib
+		libs[i] = lib
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	e.Table, err = sim.BuildInterferenceTable(host, specs)
+	for i, k := range envLibraryKinds {
+		e.Libraries[k] = libs[i]
+	}
+
+	// Stage 3: the interference table's n solo + n² pair solves fan out
+	// inside sim, again bounded by workers.
+	e.Table, err = sim.BuildInterferenceTableParallel(host, specs, workers)
 	if err != nil {
 		return nil, err
 	}

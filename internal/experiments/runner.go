@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tracon/internal/par"
+)
+
+// Experiment is one independent unit of the evaluation: a named, pure
+// function of the shared Env. Experiments must not mutate the Env (every
+// figure/table function in this package reads it only), and any randomness
+// they use must be seeded deterministically from Env.Seed — those two
+// properties are what make the fan-out in Runner safe and reproducible.
+type Experiment struct {
+	Name string
+	Run  func(*Env) (fmt.Stringer, error)
+}
+
+// Outcome is one experiment's result. Err is per-experiment: one failing
+// experiment does not abort the others.
+type Outcome struct {
+	Name    string
+	Result  fmt.Stringer
+	Err     error
+	Elapsed time.Duration
+}
+
+// Runner executes independent experiments across a bounded worker pool.
+// Outcomes come back in the input order regardless of which experiment
+// finishes first, so rendering the outcome list produces the same bytes at
+// any worker count — the CLI's -parallel flag changes wall-clock time and
+// nothing else.
+type Runner struct {
+	// Workers bounds the concurrent experiments; <= 1 runs sequentially on
+	// the calling goroutine.
+	Workers int
+}
+
+// Run evaluates every experiment against env and returns one Outcome per
+// experiment, in input order.
+func (r Runner) Run(env *Env, exps []Experiment) []Outcome {
+	out := make([]Outcome, len(exps))
+	// Job errors land in the per-index Outcome; ForEach itself cannot fail.
+	par.ForEach(r.Workers, len(exps), func(i int) error {
+		t0 := time.Now()
+		res, err := exps[i].Run(env)
+		out[i] = Outcome{Name: exps[i].Name, Result: res, Err: err, Elapsed: time.Since(t0)}
+		return nil
+	})
+	return out
+}
+
+// SuiteOptions sizes the standard evaluation suite.
+type SuiteOptions struct {
+	// StaticMachines are the cluster sizes of the Fig 8 static sweep.
+	StaticMachines []int
+	// DynMachines are the cluster sizes of the Fig 11/12 scalability sweeps.
+	DynMachines []int
+	// Lambdas are the arrival rates (tasks/minute) of the Fig 9/10 sweeps.
+	Lambdas []float64
+	// DynHours is the dynamic-experiment horizon in hours.
+	DynHours float64
+	// Repeats is the per-cell repetition count of the static sweep.
+	Repeats int
+	// Fig4Batches is the batch count of the Fig 4 model comparison.
+	Fig4Batches int
+	// SpotCheck includes the 10,000-machine Sec 4.8 run.
+	SpotCheck bool
+	// SpotCheckHours is that run's horizon.
+	SpotCheckHours float64
+}
+
+// DefaultSuiteOptions returns the paper-scale dimensions, or the reduced
+// -quick dimensions.
+func DefaultSuiteOptions(quick bool) SuiteOptions {
+	o := SuiteOptions{
+		StaticMachines: []int{8, 64, 256, 1024},
+		DynMachines:    []int{8, 64, 256, 1024},
+		Lambdas:        []float64{2, 5, 10, 20, 50, 100},
+		DynHours:       10,
+		Repeats:        3,
+		Fig4Batches:    10,
+		SpotCheckHours: 2,
+	}
+	if quick {
+		o.StaticMachines = []int{8, 64}
+		o.DynMachines = []int{8, 64}
+		o.Lambdas = []float64{2, 10, 50}
+		o.DynHours = 2
+		o.Repeats = 2
+	}
+	return o
+}
+
+// Suite returns the full evaluation — every table and figure of Sec. 4 at
+// the given dimensions — in presentation order. Each entry is independent
+// of the others, so the list can be handed to Runner at any worker count.
+func Suite(o SuiteOptions) []Experiment {
+	exps := []Experiment{
+		{"table1", func(e *Env) (fmt.Stringer, error) { return Table1(e) }},
+		{"fig3", func(e *Env) (fmt.Stringer, error) { return Fig3(e) }},
+		{"fig4", func(e *Env) (fmt.Stringer, error) { return Fig4(e, o.Fig4Batches) }},
+		{"fig5", func(e *Env) (fmt.Stringer, error) { return Fig5(e) }},
+		{"fig6", func(e *Env) (fmt.Stringer, error) { return Fig6(e) }},
+		{"fig7", func(e *Env) (fmt.Stringer, error) { return Fig7(e) }},
+		{"fig8", func(e *Env) (fmt.Stringer, error) { return Fig8(e, o.StaticMachines, o.Repeats) }},
+		{"fig9", func(e *Env) (fmt.Stringer, error) { return Fig9(e, o.Lambdas, o.DynHours) }},
+		{"fig10", func(e *Env) (fmt.Stringer, error) { return Fig10(e, o.Lambdas, o.DynHours) }},
+		{"fig11", func(e *Env) (fmt.Stringer, error) { return Fig11(e, o.DynMachines, o.DynHours) }},
+		{"fig12", func(e *Env) (fmt.Stringer, error) { return Fig12(e, o.DynMachines, o.DynHours) }},
+		{"storage", func(e *Env) (fmt.Stringer, error) { return StorageStudy(e) }},
+	}
+	if o.SpotCheck {
+		exps = append(exps, Experiment{"spotcheck", func(e *Env) (fmt.Stringer, error) {
+			return SpotCheck10k(e, o.SpotCheckHours)
+		}})
+	}
+	return exps
+}
+
+// SelectExperiments filters a suite down to the named subset, preserving
+// order. An empty want map selects everything. Unknown names are reported
+// as an error so a typo in -only fails fast instead of silently running
+// nothing.
+func SelectExperiments(exps []Experiment, want map[string]bool) ([]Experiment, error) {
+	if len(want) == 0 {
+		return exps, nil
+	}
+	known := map[string]bool{}
+	var out []Experiment
+	for _, ex := range exps {
+		known[ex.Name] = true
+		if want[ex.Name] {
+			out = append(out, ex)
+		}
+	}
+	for name := range want {
+		if !known[name] {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+		}
+	}
+	return out, nil
+}

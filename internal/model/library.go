@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"tracon/internal/xen"
 )
@@ -28,8 +29,16 @@ type Predictor interface {
 
 // Library holds one trained AppModel per application plus the solo
 // characteristics needed to describe each application as a co-runner.
+//
+// A Library is safe for concurrent use. Reads (the Predict* hot path the
+// schedulers hammer) take a shared lock; Add and Replace (training and the
+// adaptive retraining path) take it exclusively, so a retrain can swap a
+// model in while concurrent simulations keep predicting. Individual
+// AppModels are immutable once trained.
 type Library struct {
-	Kind     Kind
+	Kind Kind
+
+	mu       sync.RWMutex
 	models   map[string]*AppModel
 	features map[string][]float64
 	soloRT   map[string]float64
@@ -54,6 +63,8 @@ func (l *Library) Add(ts *TrainingSet, solo xen.SoloProfile) error {
 	if err != nil {
 		return fmt.Errorf("model: training %s/%v: %w", ts.App, l.Kind, err)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.models[ts.App] = m
 	l.features[ts.App] = append([]float64(nil), ts.Features...)
 	l.soloRT[ts.App] = solo.Runtime
@@ -63,6 +74,8 @@ func (l *Library) Add(ts *TrainingSet, solo xen.SoloProfile) error {
 
 // Replace swaps in an externally trained model (used by the adaptive path).
 func (l *Library) Replace(app string, m *AppModel) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if _, ok := l.models[app]; !ok {
 		return fmt.Errorf("model: unknown app %q", app)
 	}
@@ -72,6 +85,8 @@ func (l *Library) Replace(app string, m *AppModel) error {
 
 // Features returns an application's solo characteristics vector.
 func (l *Library) Features(app string) ([]float64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	f, ok := l.features[app]
 	if !ok {
 		return nil, fmt.Errorf("model: unknown app %q", app)
@@ -81,6 +96,8 @@ func (l *Library) Features(app string) ([]float64, error) {
 
 // Model returns the trained model for app.
 func (l *Library) Model(app string) (*AppModel, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	m, ok := l.models[app]
 	if !ok {
 		return nil, fmt.Errorf("model: unknown app %q", app)
@@ -90,6 +107,8 @@ func (l *Library) Model(app string) (*AppModel, error) {
 
 // Apps returns the registered application names, sorted.
 func (l *Library) Apps() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	out := make([]string, 0, len(l.models))
 	for a := range l.models {
 		out = append(out, a)
@@ -100,11 +119,13 @@ func (l *Library) Apps() []string {
 
 // PredictRuntime implements Predictor.
 func (l *Library) PredictRuntime(target, corunner string) (float64, error) {
+	l.mu.RLock()
 	m, ok := l.models[target]
+	bg, err := l.corunnerFeaturesLocked(corunner)
+	l.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("model: unknown target %q", target)
 	}
-	bg, err := l.corunnerFeatures(corunner)
 	if err != nil {
 		return 0, err
 	}
@@ -113,11 +134,13 @@ func (l *Library) PredictRuntime(target, corunner string) (float64, error) {
 
 // PredictIOPS implements Predictor.
 func (l *Library) PredictIOPS(target, corunner string) (float64, error) {
+	l.mu.RLock()
 	m, ok := l.models[target]
+	bg, err := l.corunnerFeaturesLocked(corunner)
+	l.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("model: unknown target %q", target)
 	}
-	bg, err := l.corunnerFeatures(corunner)
 	if err != nil {
 		return 0, err
 	}
@@ -126,6 +149,8 @@ func (l *Library) PredictIOPS(target, corunner string) (float64, error) {
 
 // SoloRuntime implements Predictor.
 func (l *Library) SoloRuntime(target string) (float64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	rt, ok := l.soloRT[target]
 	if !ok {
 		return 0, fmt.Errorf("model: unknown target %q", target)
@@ -135,6 +160,8 @@ func (l *Library) SoloRuntime(target string) (float64, error) {
 
 // SoloIOPS returns the measured no-interference throughput.
 func (l *Library) SoloIOPS(target string) (float64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	io, ok := l.soloIO[target]
 	if !ok {
 		return 0, fmt.Errorf("model: unknown target %q", target)
@@ -142,7 +169,8 @@ func (l *Library) SoloIOPS(target string) (float64, error) {
 	return io, nil
 }
 
-func (l *Library) corunnerFeatures(corunner string) ([]float64, error) {
+// corunnerFeaturesLocked requires l.mu held (read or write).
+func (l *Library) corunnerFeaturesLocked(corunner string) ([]float64, error) {
 	if corunner == "" {
 		return zeroFeatures(), nil
 	}

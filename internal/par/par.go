@@ -1,0 +1,73 @@
+// Package par provides the bounded-worker fan-out primitive the parallel
+// evaluation engine is built on. Results are always collected into
+// caller-owned, index-addressed slices, so the output of a parallel run is
+// a pure function of the inputs — never of goroutine scheduling. That is
+// the contract the determinism tests in internal/experiments enforce:
+// parallel output must be byte-identical to sequential output.
+package par
+
+import "sync"
+
+// Clamp bounds a requested worker count to [1, n] where n is the number of
+// independent jobs. workers <= 0 is treated as "one worker" (sequential);
+// callers that want GOMAXPROCS pass it explicitly.
+func Clamp(workers, n int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if n >= 1 && workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and waits for all of them. With workers <= 1 it degenerates to a plain
+// sequential loop on the calling goroutine (no goroutines spawned), which
+// is the reference execution the parallel paths must reproduce.
+//
+// All n jobs always run; an error in one job does not cancel the others
+// (jobs are independent by contract and results land in caller-owned
+// slices). If any jobs fail, ForEach returns the error of the
+// lowest-indexed failing job, so the reported error is deterministic no
+// matter how the goroutines interleave.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 8, 1},
+		{-3, 8, 1},
+		{1, 8, 1},
+		{4, 8, 4},
+		{16, 8, 8},
+		{4, 0, 4}, // n<1: no job bound to apply
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.n); got != c.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 37
+		out := make([]int, n)
+		err := ForEach(workers, n, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 64
+	var cur, max int32
+	var mu sync.Mutex
+	err := ForEach(workers, n, func(i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > max {
+			max = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > workers {
+		t.Errorf("observed %d concurrent jobs, bound is %d", max, workers)
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("job %d failed", i) }
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := ForEach(workers, 10, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 3 || i == 7 {
+				return boom(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: err = %v, want job 3's error", workers, err)
+		}
+		if ran != 10 {
+			t.Errorf("workers=%d: ran %d jobs, want all 10", workers, ran)
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

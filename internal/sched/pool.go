@@ -3,6 +3,7 @@ package sched
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // FreePool tracks every free VM slot in the cluster, bucketed by the
@@ -13,13 +14,32 @@ import (
 // Slots are kept in lazy min-heaps: recategorizations simply push a fresh
 // entry and stale entries are discarded at pop time against the
 // authoritative per-slot state.
+//
+// A FreePool is single-owner state: it is owned by exactly one simulation
+// engine and must not be shared across goroutines (the parallel experiment
+// runner gives every concurrent simulation its own engine and therefore
+// its own pool). Every method carries a cheap atomic reentry guard that
+// panics on concurrent access, so a violation of the ownership contract
+// fails loudly instead of corrupting heaps silently.
 type FreePool struct {
 	heaps   map[string]*slotHeap
 	global  slotHeap
 	state   map[int64]slotState
 	counts  Counts
 	freeSeq int64
+	inUse   int32
 }
+
+// enter trips the single-owner guard; every public method must pair it
+// with leave. It is not a lock — it never blocks — it only detects two
+// goroutines inside the pool at once.
+func (p *FreePool) enter() {
+	if !atomic.CompareAndSwapInt32(&p.inUse, 0, 1) {
+		panic("sched: FreePool used concurrently; it is single-owner state (give each engine its own pool)")
+	}
+}
+
+func (p *FreePool) leave() { atomic.StoreInt32(&p.inUse, 0) }
 
 type slotState struct {
 	free     bool
@@ -70,6 +90,8 @@ func slotKey(machine, slot int) int64 { return int64(machine)<<8 | int64(slot) }
 // SetFree marks a slot free under the given neighbour category, adding or
 // recategorizing as needed.
 func (p *FreePool) SetFree(machine, slot int, category string) {
+	p.enter()
+	defer p.leave()
 	if category == AnyCategory {
 		panic("sched: AnyCategory is not a real category")
 	}
@@ -100,6 +122,12 @@ func (p *FreePool) SetFree(machine, slot int, category string) {
 
 // SetBusy marks a slot occupied.
 func (p *FreePool) SetBusy(machine, slot int) {
+	p.enter()
+	defer p.leave()
+	p.setBusy(machine, slot)
+}
+
+func (p *FreePool) setBusy(machine, slot int) {
 	key := slotKey(machine, slot)
 	cur, ok := p.state[key]
 	if !ok || !cur.free {
@@ -112,6 +140,8 @@ func (p *FreePool) SetBusy(machine, slot int) {
 // Counts returns a copy of the per-category free counts (zero entries
 // removed).
 func (p *FreePool) Counts() Counts {
+	p.enter()
+	defer p.leave()
 	out := make(Counts, len(p.counts))
 	for c, n := range p.counts {
 		if n > 0 {
@@ -123,6 +153,8 @@ func (p *FreePool) Counts() Counts {
 
 // FreeSlots returns the total number of free slots.
 func (p *FreePool) FreeSlots() int {
+	p.enter()
+	defer p.leave()
 	t := 0
 	for _, n := range p.counts {
 		if n > 0 {
@@ -135,12 +167,14 @@ func (p *FreePool) FreeSlots() int {
 // Pop resolves a placement category to a concrete free slot and marks it
 // busy. AnyCategory takes the lowest-indexed free slot overall.
 func (p *FreePool) Pop(category string) (machine, slot int, err error) {
+	p.enter()
+	defer p.leave()
 	if category == AnyCategory {
 		for p.global.Len() > 0 {
 			e := heap.Pop(&p.global).(slotEntry)
 			st, ok := p.state[slotKey(e.machine, e.slot)]
 			if ok && st.free {
-				p.SetBusy(e.machine, e.slot)
+				p.setBusy(e.machine, e.slot)
 				return e.machine, e.slot, nil
 			}
 		}
@@ -154,7 +188,7 @@ func (p *FreePool) Pop(category string) (machine, slot int, err error) {
 		e := heap.Pop(h).(slotEntry)
 		st, oks := p.state[slotKey(e.machine, e.slot)]
 		if oks && st.free && st.category == e.category {
-			p.SetBusy(e.machine, e.slot)
+			p.setBusy(e.machine, e.slot)
 			return e.machine, e.slot, nil
 		}
 	}
@@ -164,6 +198,8 @@ func (p *FreePool) Pop(category string) (machine, slot int, err error) {
 // Category returns the current category of a free slot (ok=false if the
 // slot is not free).
 func (p *FreePool) Category(machine, slot int) (string, bool) {
+	p.enter()
+	defer p.leave()
 	st, ok := p.state[slotKey(machine, slot)]
 	if !ok || !st.free {
 		return "", false

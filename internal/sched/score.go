@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"tracon/internal/model"
 )
@@ -13,9 +14,18 @@ import (
 // aggregate IOPS for the throughput objective. Scores are memoized: the
 // application set is small and predictions are deterministic, so large
 // simulations pay for each (target, neighbour) pair once.
+//
+// A Scorer is safe for concurrent use: the memo cache is guarded by a
+// read-write lock, and because predictions are pure functions of the
+// (target, neighbour) pair, two goroutines racing to fill the same entry
+// compute the same value — the cache contents never depend on
+// interleaving. This is what lets the parallel experiment runner share one
+// trained predictor across simulations.
 type Scorer struct {
-	pred  model.Predictor
-	obj   Objective
+	pred model.Predictor
+	obj  Objective
+
+	mu    sync.RWMutex
 	cache map[[2]string]float64
 }
 
@@ -36,7 +46,10 @@ func (s *Scorer) PairScore(a, b string) (float64, error) {
 	if b < a {
 		key = [2]string{b, a} // symmetric; halve the cache
 	}
-	if v, ok := s.cache[key]; ok {
+	s.mu.RLock()
+	v, ok := s.cache[key]
+	s.mu.RUnlock()
+	if ok {
 		return v, nil
 	}
 	var score float64
@@ -49,7 +62,9 @@ func (s *Scorer) PairScore(a, b string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
 	s.cache[key] = score
+	s.mu.Unlock()
 	return score, nil
 }
 

@@ -16,12 +16,17 @@ import (
 	"math"
 	"sort"
 
+	"tracon/internal/par"
 	"tracon/internal/xen"
 )
 
 // InterferenceTable replays measured pairwise interference: for every
 // ordered application pair, the progress rate (inverse slowdown) and
 // throughput of the first while co-located with the second.
+//
+// The table is immutable once built, so any number of concurrent
+// simulations may read one shared instance; the parallel experiment runner
+// relies on this.
 type InterferenceTable struct {
 	apps    []string
 	soloRT  map[string]float64
@@ -36,7 +41,17 @@ type InterferenceTable struct {
 // on the host model. For n applications this is n solo solves plus n·n
 // pair solves.
 func BuildInterferenceTable(host *xen.Host, apps []xen.AppSpec) (*InterferenceTable, error) {
-	if len(apps) == 0 {
+	return BuildInterferenceTableParallel(host, apps, 1)
+}
+
+// BuildInterferenceTableParallel is BuildInterferenceTable with the solo
+// and pair steady-state solves fanned out over at most workers goroutines.
+// Each solve is an independent pure function of the host configuration, and
+// results are collected by index before the maps are filled in input order,
+// so the table is identical to the sequential build bit-for-bit.
+func BuildInterferenceTableParallel(host *xen.Host, apps []xen.AppSpec, workers int) (*InterferenceTable, error) {
+	n := len(apps)
+	if n == 0 {
 		return nil, fmt.Errorf("sim: no applications")
 	}
 	t := &InterferenceTable{
@@ -47,36 +62,59 @@ func BuildInterferenceTable(host *xen.Host, apps []xen.AppSpec) (*InterferenceTa
 		iops:    map[[2]string]float64{},
 		util:    map[[2]string]float64{},
 	}
+	seen := map[string]bool{}
 	for _, a := range apps {
-		if _, ok := t.soloRT[a.Name]; ok {
+		if seen[a.Name] {
 			return nil, fmt.Errorf("sim: duplicate application %q", a.Name)
 		}
-		st, err := host.Steady([]xen.AppSpec{a})
+		seen[a.Name] = true
+	}
+
+	solos := make([]xen.AppSteady, n)
+	err := par.ForEach(workers, n, func(i int) error {
+		st, err := host.Steady([]xen.AppSpec{apps[i]})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if math.IsInf(st[0].Runtime, 0) {
-			return nil, fmt.Errorf("sim: application %q never terminates", a.Name)
+			return fmt.Errorf("sim: application %q never terminates", apps[i].Name)
 		}
+		solos[i] = st[0]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range apps {
 		t.apps = append(t.apps, a.Name)
-		t.soloRT[a.Name] = st[0].Runtime
-		t.soloIO[a.Name] = st[0].IOPS
+		t.soloRT[a.Name] = solos[i].Runtime
+		t.soloIO[a.Name] = solos[i].IOPS
 		t.soloOps[a.Name] = a.TotalOps()
-		t.util[[2]string{a.Name, ""}] = st[0].GuestCPU + st[0].Dom0CPU
+		t.util[[2]string{a.Name, ""}] = solos[i].GuestCPU + solos[i].Dom0CPU
 	}
 	sort.Strings(t.apps)
-	for _, a := range apps {
-		for _, b := range apps {
-			bb := b
-			bb.Name = b.Name + "~peer"
-			st, err := host.Steady([]xen.AppSpec{a, bb})
-			if err != nil {
-				return nil, err
-			}
+
+	pairs := make([]xen.AppSteady, n*n)
+	err = par.ForEach(workers, n*n, func(k int) error {
+		a, b := apps[k/n], apps[k%n]
+		b.Name = b.Name + "~peer"
+		st, err := host.Steady([]xen.AppSpec{a, b})
+		if err != nil {
+			return err
+		}
+		pairs[k] = st[0]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range apps {
+		for j, b := range apps {
+			st := pairs[i*n+j]
 			key := [2]string{a.Name, b.Name}
-			t.rate[key] = st[0].ProgressRate
-			t.iops[key] = st[0].IOPS
-			t.util[key] = st[0].GuestCPU + st[0].Dom0CPU
+			t.rate[key] = st.ProgressRate
+			t.iops[key] = st.IOPS
+			t.util[key] = st.GuestCPU + st.Dom0CPU
 		}
 	}
 	return t, nil

@@ -1,0 +1,84 @@
+package xen
+
+import "testing"
+
+func cloneApp() AppSpec {
+	return AppSpec{
+		Name: "clone-target", CPUSeconds: 50,
+		ReadOps: 50000, WriteOps: 5000,
+		ReqSizeKB: 16, Seq: 0.7, MaxIODepth: 2,
+	}
+}
+
+func cloneBG() AppSpec {
+	return AppSpec{
+		Name: "clone-bg", CPUSeconds: 80,
+		ReadOps: 80000, WriteOps: 8000,
+		ReqSizeKB: 16, Seq: 0.5, MaxIODepth: 2,
+	}
+}
+
+func TestCloneReproducesMeasurements(t *testing.T) {
+	h, err := NewHost(DefaultHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTestbed(h, 3, 0.05, 7)
+	want, err := tb.MeasureAgainstBackground(cloneApp(), cloneBG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tb.Clone().MeasureAgainstBackground(cloneApp(), cloneBG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("clone measurement %+v differs from original %+v", got, want)
+	}
+	if tb.Clone().Seed() != tb.Seed() {
+		t.Error("clone changed the seed")
+	}
+}
+
+func TestWithSeedChangesNoiseStream(t *testing.T) {
+	h, err := NewHost(DefaultHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTestbed(h, 3, 0.05, 7)
+	a, err := tb.MeasureAgainstBackground(cloneApp(), cloneBG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := tb.WithSeed(8)
+	if other.Seed() != 8 {
+		t.Fatalf("WithSeed seed = %d", other.Seed())
+	}
+	b, err := other.MeasureAgainstBackground(cloneApp(), cloneBG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different seeds produced identical noisy measurements")
+	}
+	// Same derived seed → same measurement again.
+	c, err := tb.WithSeed(8).MeasureAgainstBackground(cloneApp(), cloneBG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != c {
+		t.Errorf("same seed gave %+v then %+v", b, c)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "fig9") != DeriveSeed(1, "fig9") {
+		t.Error("DeriveSeed is not deterministic")
+	}
+	if DeriveSeed(1, "fig9") == DeriveSeed(1, "fig10") {
+		t.Error("distinct labels must derive distinct seeds")
+	}
+	if DeriveSeed(1, "fig9") == DeriveSeed(2, "fig9") {
+		t.Error("distinct bases must derive distinct seeds")
+	}
+}

@@ -35,6 +35,14 @@ type Measurement struct {
 
 // Testbed wraps a Host with the measurement conventions of the paper:
 // repeated runs, multiplicative measurement noise, deterministic seeding.
+//
+// A Testbed is immutable after construction and its measurements are
+// key-addressed (the noise stream of every measurement is derived from the
+// seed and the measurement's own name, not from call order), so a single
+// Testbed is safe for concurrent use and every measurement returns the
+// same bytes no matter how calls interleave across goroutines. The
+// parallel evaluation engine in internal/experiments leans on exactly this
+// property.
 type Testbed struct {
 	host  *Host
 	runs  int
@@ -58,6 +66,39 @@ func NewTestbed(host *Host, runs int, sigma float64, seed int64) *Testbed {
 
 // Host returns the underlying host model.
 func (tb *Testbed) Host() *Host { return tb.host }
+
+// Seed returns the testbed's noise-stream seed.
+func (tb *Testbed) Seed() int64 { return tb.seed }
+
+// Clone returns an independent testbed value with the same host, run count,
+// noise level and seed. Because measurement noise is key-addressed, a clone
+// reproduces the original's measurements bit-for-bit; per-worker clones let
+// the parallel profiler keep a testbed value per goroutine without sharing
+// anything mutable (and without changing a single output byte relative to
+// the sequential run).
+func (tb *Testbed) Clone() *Testbed {
+	c := *tb
+	return &c
+}
+
+// WithSeed returns a clone whose noise stream is driven by the given seed.
+// Use DeriveSeed to obtain well-separated per-worker or per-experiment
+// seeds from a base seed.
+func (tb *Testbed) WithSeed(seed int64) *Testbed {
+	c := *tb
+	c.seed = seed
+	return &c
+}
+
+// DeriveSeed deterministically derives an independent seed from a base seed
+// and a label (e.g. a worker's experiment name). Distinct labels give
+// well-separated streams; the same (base, label) pair always gives the same
+// seed, so parallel runs that partition work by label stay reproducible.
+func DeriveSeed(base int64, label string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return base ^ int64(h.Sum64())
+}
 
 // ProfileSolo measures an application running alone (the other VM idle).
 func (tb *Testbed) ProfileSolo(app AppSpec) (SoloProfile, error) {
