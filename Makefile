@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench clean
+.PHONY: ci vet build test race audit bench clean
 
-ci: vet build test race
+ci: vet build test race audit
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,13 @@ test:
 # dimensions (see testing.Short() guards in the _test files).
 race:
 	$(GO) test -short -race ./... -count=1
+
+# Self-audit: replay a compact slice of the evaluation with the invariant
+# auditor attached to every simulation (pool⟺machine consistency, work
+# conservation, time/energy monotonicity, FIFO-fair pops). Any violation
+# exits non-zero. Takes a couple of seconds.
+audit:
+	$(GO) run ./cmd/traconbench -quick -hours 0.5 -only table1,fig3,fig8,fig9 -audit -parallel 4 > /dev/null
 
 # Regenerate the paper exhibits through the benchmark harness.
 bench:

@@ -22,9 +22,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"tracon/internal/experiments"
+	"tracon/internal/obs"
+	"tracon/internal/sched"
+	"tracon/internal/sim"
 	"tracon/internal/trace"
 )
 
@@ -40,6 +44,10 @@ func main() {
 		spotcheck = flag.Bool("spotcheck", false, "also run the 10,000-machine Sec 4.8 spot check")
 		csvDir    = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for env construction and experiment fan-out (1 = sequential)")
+		metrics   = flag.Bool("metrics", false, "collect per-run simulation metrics; writes metrics_seed<seed>.{json,csv} under -metrics-dir")
+		metricDir = flag.String("metrics-dir", "results", "directory for -metrics exports")
+		audit     = flag.Bool("audit", false, "attach the invariant auditor to every simulation; exits 1 if any violation is found")
+		auditN    = flag.Int("audit-every", 32, "audit full-state scan sampling: one scan per N events (O(1) checks always run)")
 	)
 	flag.Parse()
 	if *parallel < 1 {
@@ -71,6 +79,33 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "environment ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 
+	// Observability: one metrics collector for the whole sweep, one auditor
+	// per simulation run (the monotonicity checks track per-run clocks).
+	// Labels are derived from run inputs, so exports are identical at every
+	// -parallel width.
+	var collector *obs.Collector
+	var auditMu sync.Mutex
+	var auditors []*obs.InvariantAuditor
+	if *metrics {
+		collector = obs.NewCollector()
+	}
+	if *metrics || *audit {
+		env.Observe = func(kind, scheduler string, machines int, tasks []sched.Task) sim.Observer {
+			var multi obs.Multi
+			if collector != nil {
+				multi = append(multi, collector.Observer(obs.RunLabel(kind, scheduler, machines, tasks)))
+			}
+			if *audit {
+				a := &obs.InvariantAuditor{Every: *auditN}
+				auditMu.Lock()
+				auditors = append(auditors, a)
+				auditMu.Unlock()
+				multi = append(multi, a)
+			}
+			return multi
+		}
+	}
+
 	runner := experiments.Runner{Workers: *parallel}
 	for _, oc := range runner.Run(env, suite) {
 		if oc.Err != nil {
@@ -87,6 +122,29 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", oc.Name, oc.Elapsed.Round(time.Millisecond))
+	}
+
+	if collector != nil {
+		jsonPath, csvPath, err := collector.Export(*metricDir, fmt.Sprintf("seed%d", *seed), false)
+		if err != nil {
+			log.Fatalf("exporting metrics: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d runs → %s, %s\n", collector.Len(), jsonPath, csvPath)
+	}
+	if *audit {
+		var total int64
+		for _, a := range auditors {
+			total += a.Total()
+		}
+		if total > 0 {
+			for _, a := range auditors {
+				if a.Total() > 0 {
+					fmt.Fprintln(os.Stderr, a.Summary())
+				}
+			}
+			log.Fatalf("audit: %d invariant violations across %d simulation runs", total, len(auditors))
+		}
+		fmt.Fprintf(os.Stderr, "audit: %d simulation runs, 0 invariant violations\n", len(auditors))
 	}
 
 	fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -34,8 +34,19 @@ type PartitionedResults struct {
 	Horizon float64
 }
 
-// Throughput returns total completed tasks (T_S of Sec. 4.7).
-func (r *PartitionedResults) Throughput() float64 { return float64(r.CompletedCount) }
+// CompletedTasks returns the total completed-task count across groups as a
+// float64 — the T_S of Sec. 4.7, which the paper reports normalized against
+// FIFO so the horizon divides out. (Previously named Throughput, which
+// wrongly suggested a rate.)
+func (r *PartitionedResults) CompletedTasks() float64 { return float64(r.CompletedCount) }
+
+// TasksPerHour is a true rate: completed tasks per simulated hour.
+func (r *PartitionedResults) TasksPerHour() float64 {
+	if r.Horizon <= 0 || math.IsInf(r.Horizon, 1) {
+		return 0
+	}
+	return float64(r.CompletedCount) / (r.Horizon / 3600)
+}
 
 // SimulatePartitioned runs a hierarchical simulation: totalMachines are
 // split evenly into groups, tasks are routed round-robin, and each group

@@ -30,10 +30,10 @@ func RunQueueLength(e *Env, q, machines int, lambda, horizon float64) (float64, 
 	if err != nil {
 		return 0, err
 	}
-	if fifo.Throughput() == 0 {
+	if fifo.CompletedTasks() == 0 {
 		return 0, nil
 	}
-	return mibs.Throughput() / fifo.Throughput(), nil
+	return mibs.CompletedTasks() / fifo.CompletedTasks(), nil
 }
 
 // StaticTasksPublic exposes the deterministic static task generator for

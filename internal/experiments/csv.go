@@ -100,11 +100,11 @@ func (r *Fig8Result) Table() trace.Table {
 
 // Table implements trace.Tabular.
 func (r *DynamicResult) Table() trace.Table {
-	t := trace.Table{Header: []string{"machines", "mix", "lambda_per_min", "scheduler", "throughput", "normalized"}}
+	t := trace.Table{Header: []string{"machines", "mix", "lambda_per_min", "scheduler", "completed", "normalized"}}
 	for _, c := range r.Cells {
 		t.Rows = append(t.Rows, []string{
 			trace.I(c.Machines), c.Mix.String(), trace.F(c.Lambda), c.Scheduler,
-			trace.F(c.Throughput), trace.F(c.Normalized),
+			trace.F(c.Completed), trace.F(c.Normalized),
 		})
 	}
 	return t

@@ -37,6 +37,27 @@ type Env struct {
 	Oracle *model.Oracle
 
 	Seed int64
+
+	// Observe, when non-nil, supplies an observer for every simulation the
+	// experiments launch (metrics collection, invariant auditing). It is
+	// called once per engine run, possibly from concurrent workers, and must
+	// key any shared state by its arguments — never by call order — so that
+	// observed artifacts stay identical across worker counts.
+	Observe ObserverFactory
+}
+
+// ObserverFactory builds the observer for one simulation run. kind names
+// the call site ("static", "dynamic", "spotcheck", "storage-<device>");
+// together with the scheduler name, cluster size and task stream it
+// identifies the run deterministically (see obs.RunLabel).
+type ObserverFactory func(kind, scheduler string, machines int, tasks []sched.Task) sim.Observer
+
+// observer resolves the factory for one run, nil-safe.
+func (e *Env) observer(kind, scheduler string, machines int, tasks []sched.Task) sim.Observer {
+	if e.Observe == nil {
+		return nil
+	}
+	return e.Observe(kind, scheduler, machines, tasks)
 }
 
 // NewEnv measures, profiles and trains everything once, sequentially. With
@@ -204,6 +225,7 @@ func (e *Env) runStatic(s sched.Scheduler, machines int, tasks []sched.Task) (*s
 		Scheduler:   s,
 		Table:       e.Table,
 		DropRecords: len(tasks) > 200000,
+		Observer:    e.observer("static", s.Name(), machines, tasks),
 	})
 	if err != nil {
 		return nil, err
@@ -218,6 +240,7 @@ func (e *Env) runDynamic(s sched.Scheduler, machines int, tasks []sched.Task, ho
 		Scheduler:   s,
 		Table:       e.Table,
 		DropRecords: true,
+		Observer:    e.observer("dynamic", s.Name(), machines, tasks),
 	})
 	if err != nil {
 		return nil, err

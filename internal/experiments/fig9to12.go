@@ -16,9 +16,10 @@ type DynamicCell struct {
 	Machines  int
 	Lambda    float64 // tasks per minute
 	Mix       workload.IOIntensity
-	// Throughput is completed tasks within the horizon; Normalized is
-	// T_S / T_FIFO (Sec. 4.7).
-	Throughput float64
+	// Completed is the completed-task count within the horizon (the T_S of
+	// Sec. 4.7 — a count, not a rate); Normalized is T_S / T_FIFO, where the
+	// shared horizon divides out.
+	Completed  float64
 	Normalized float64
 }
 
@@ -44,7 +45,7 @@ func (e *Env) runDynamicSet(policies []dynPolicy, machines int, lambda float64, 
 	if err != nil {
 		return nil, err
 	}
-	base := fifo.Throughput()
+	base := fifo.CompletedTasks()
 	var out []DynamicCell
 	for _, p := range policies {
 		s, err := newScheduler(p.policy, p.queue, e.scorerFor(model.NLM, sched.MinRuntime, false))
@@ -57,14 +58,14 @@ func (e *Env) runDynamicSet(policies []dynPolicy, machines int, lambda float64, 
 		}
 		norm := 0.0
 		if base > 0 {
-			norm = res.Throughput() / base
+			norm = res.CompletedTasks() / base
 		}
 		out = append(out, DynamicCell{
 			Scheduler:  p.label,
 			Machines:   machines,
 			Lambda:     lambda,
 			Mix:        mix,
-			Throughput: res.Throughput(),
+			Completed:  res.CompletedTasks(),
 			Normalized: norm,
 		})
 	}
@@ -185,10 +186,10 @@ func (r *DynamicResult) Cell(schedName string, machines int, lambda float64, mix
 func (r *DynamicResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (horizon %.0f h)\n", r.Title, r.HorizonHours)
-	fmt.Fprintf(&b, "%-9s %-8s %8s %-8s %12s %11s\n", "machines", "mix", "λ/min", "sched", "throughput", "vs FIFO")
+	fmt.Fprintf(&b, "%-9s %-8s %8s %-8s %12s %11s\n", "machines", "mix", "λ/min", "sched", "completed", "vs FIFO")
 	for _, c := range r.Cells {
 		fmt.Fprintf(&b, "%-9d %-8s %8.0f %-8s %12.0f %11.3f\n",
-			c.Machines, c.Mix, c.Lambda, c.Scheduler, c.Throughput, c.Normalized)
+			c.Machines, c.Mix, c.Lambda, c.Scheduler, c.Completed, c.Normalized)
 	}
 	return b.String()
 }

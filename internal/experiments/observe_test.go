@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"tracon/internal/obs"
+	"tracon/internal/sched"
+	"tracon/internal/sim"
+)
+
+// observeSuite is a small cross-section of the evaluation touching the
+// static, dynamic and per-policy code paths.
+func observeSuite() []Experiment {
+	return []Experiment{
+		{"table1", func(e *Env) (fmt.Stringer, error) { return Table1(e) }},
+		{"fig4", func(e *Env) (fmt.Stringer, error) { return Fig4(e, 4) }},
+		{"fig9", func(e *Env) (fmt.Stringer, error) { return Fig9(e, []float64{2, 50}, 1) }},
+	}
+}
+
+func renderOutcomes(t *testing.T, ocs []Outcome) string {
+	t.Helper()
+	var b strings.Builder
+	for _, oc := range ocs {
+		if oc.Err != nil {
+			t.Fatalf("%s: %v", oc.Name, oc.Err)
+		}
+		fmt.Fprintf(&b, "== %s ==\n%s\n", oc.Name, oc.Result.String())
+	}
+	return b.String()
+}
+
+// TestObserversDoNotPerturbExperiments is the tentpole's safety guarantee
+// at the experiment level: attaching the metrics collector plus a strict
+// invariant auditor to every simulation run leaves the rendered experiment
+// output byte-identical to the unobserved baseline, the audit finds zero
+// violations, and the deterministic metrics export is byte-identical
+// across Runner worker counts.
+func TestObserversDoNotPerturbExperiments(t *testing.T) {
+	e := testEnv(t)
+	suite := observeSuite()
+
+	baseline := renderOutcomes(t, Runner{Workers: 2}.Run(e, suite))
+
+	observed := func(workers int) (output, metricsJSON, metricsCSV string, violations int64, runs int) {
+		collector := obs.NewCollector()
+		var mu sync.Mutex
+		var auditors []*obs.InvariantAuditor
+		e.Observe = func(kind, scheduler string, machines int, tasks []sched.Task) sim.Observer {
+			a := &obs.InvariantAuditor{Every: 16, Strict: true}
+			mu.Lock()
+			auditors = append(auditors, a)
+			mu.Unlock()
+			label := obs.RunLabel(kind, scheduler, machines, tasks)
+			return obs.Multi{collector.Observer(label), a}
+		}
+		defer func() { e.Observe = nil }()
+		out := renderOutcomes(t, Runner{Workers: workers}.Run(e, suite))
+		var j, c bytes.Buffer
+		if err := collector.WriteJSON(&j, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := collector.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, a := range auditors {
+			total += a.Total()
+		}
+		return out, j.String(), c.String(), total, collector.Len()
+	}
+
+	out1, json1, csv1, viol1, runs1 := observed(1)
+	out4, json4, csv4, viol4, runs4 := observed(4)
+
+	if viol1 != 0 || viol4 != 0 {
+		t.Fatalf("invariant violations: %d sequential, %d parallel", viol1, viol4)
+	}
+	if out1 != baseline {
+		t.Errorf("observers perturbed experiment output; first divergence:\n%s", firstDiff(baseline, out1))
+	}
+	if out4 != baseline {
+		t.Errorf("observers perturbed parallel experiment output; first divergence:\n%s", firstDiff(baseline, out4))
+	}
+	if runs1 == 0 || runs1 != runs4 {
+		t.Fatalf("collected %d runs sequentially, %d with 4 workers", runs1, runs4)
+	}
+	if json1 != json4 {
+		t.Errorf("metrics JSON differs across worker counts; first divergence:\n%s", firstDiff(json1, json4))
+	}
+	if csv1 != csv4 {
+		t.Errorf("metrics CSV differs across worker counts; first divergence:\n%s", firstDiff(csv1, csv4))
+	}
+}

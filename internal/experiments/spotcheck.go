@@ -61,6 +61,7 @@ func SpotCheck10k(e *Env, horizonHours float64) (*SpotCheckResult, error) {
 					Scheduler:   s,
 					Table:       e.Table,
 					DropRecords: true,
+					Observer:    e.observer("spotcheck", s.Name(), machines/groups, routed[g]),
 				})
 				if err != nil {
 					errs[g] = err
@@ -71,7 +72,7 @@ func SpotCheck10k(e *Env, horizonHours float64) (*SpotCheckResult, error) {
 					errs[g] = err
 					return
 				}
-				totals[g] = res.Throughput()
+				totals[g] = res.CompletedTasks()
 			}(g)
 		}
 		wg.Wait()

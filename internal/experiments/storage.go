@@ -84,7 +84,14 @@ func storageRow(e *Env, dev xen.DiskParams) (StorageRow, error) {
 	for seed := int64(1); seed <= 4; seed++ {
 		tasks := staticTasks(workload.MediumIO, 32, e.Seed+seed*211)
 		run := func(s sched.Scheduler) (*sim.Results, error) {
-			eng, err := sim.NewEngine(sim.Config{Machines: 16, Scheduler: s, Table: table})
+			eng, err := sim.NewEngine(sim.Config{
+				Machines:  16,
+				Scheduler: s,
+				Table:     table,
+				// The device name keys the label: the task stream and cluster
+				// size repeat across devices, only the table differs.
+				Observer: e.observer("storage-"+dev.Name, s.Name(), 16, tasks),
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -13,7 +13,9 @@ import (
 //
 // Slots are kept in lazy min-heaps: recategorizations simply push a fresh
 // entry and stale entries are discarded at pop time against the
-// authoritative per-slot state.
+// authoritative per-slot state. A heap that grows large and mostly stale
+// (long runs never popping a category accumulate garbage) is compacted in
+// place, so heap memory stays proportional to the live slot count.
 //
 // A FreePool is single-owner state: it is owned by exactly one simulation
 // engine and must not be shared across goroutines (the parallel experiment
@@ -44,6 +46,12 @@ func (p *FreePool) leave() { atomic.StoreInt32(&p.inUse, 0) }
 type slotState struct {
 	free     bool
 	category string
+	// freeGen is the freed-order stamp of the latest busy→free transition.
+	// Recategorizations keep it, so a slot's position in the global FIFO is
+	// the moment it last became free, not the last time its neighbour
+	// changed. Global entries carry the stamp they were pushed with; an
+	// entry whose stamp no longer matches is stale and rejected at pop.
+	freeGen int64
 }
 
 type slotEntry struct {
@@ -101,23 +109,38 @@ func (p *FreePool) SetFree(machine, slot int, category string) {
 		if cur.category == category {
 			return
 		}
+		// Recategorization: the slot keeps its freed-order stamp and its
+		// existing global entry (which still carries the matching stamp), so
+		// its position in the FIFO-over-VMs queue is unchanged. Only the
+		// category heaps see a fresh entry.
 		p.counts[cur.category]--
+		p.state[key] = slotState{free: true, category: category, freeGen: cur.freeGen}
+		p.counts[category]++
+		p.pushCategory(machine, slot, category)
+		return
 	}
-	p.state[key] = slotState{free: true, category: category}
+	// Busy→free transition: stamp the freed order and enter the global FIFO.
+	// The next AnyCategory task takes the slot that has been free the
+	// longest, so an idle cluster spreads tasks instead of repeatedly
+	// packing the lowest-numbered machine.
+	p.freeSeq++
+	p.state[key] = slotState{free: true, category: category, freeGen: p.freeSeq}
 	p.counts[category]++
-	h, okh := p.heaps[category]
-	if !okh {
+	p.pushCategory(machine, slot, category)
+	heap.Push(&p.global, slotEntry{machine: machine, slot: slot, seq: p.freeSeq})
+	p.maybeCompactGlobal()
+}
+
+// pushCategory adds a category-heap entry and compacts the heap if stale
+// entries dominate it.
+func (p *FreePool) pushCategory(machine, slot int, category string) {
+	h, ok := p.heaps[category]
+	if !ok {
 		h = &slotHeap{}
 		p.heaps[category] = h
 	}
 	heap.Push(h, slotEntry{machine: machine, slot: slot, category: category})
-	// The global heap is FIFO over VMs: the next AnyCategory task takes the
-	// slot that has been free the longest, so an idle cluster spreads tasks
-	// instead of repeatedly packing the lowest-numbered machine. Only the
-	// first SetFree after a busy period stamps the order; recategorizations
-	// keep the original position via the stale-entry check at pop time.
-	p.freeSeq++
-	heap.Push(&p.global, slotEntry{machine: machine, slot: slot, seq: p.freeSeq})
+	p.maybeCompactCategory(category)
 }
 
 // SetBusy marks a slot occupied.
@@ -173,7 +196,11 @@ func (p *FreePool) Pop(category string) (machine, slot int, err error) {
 		for p.global.Len() > 0 {
 			e := heap.Pop(&p.global).(slotEntry)
 			st, ok := p.state[slotKey(e.machine, e.slot)]
-			if ok && st.free {
+			// The stamp must match: a slot freed, made busy and freed again
+			// leaves an older entry behind whose stamp no longer matches, and
+			// honouring it would let the recently freed slot jump the
+			// FIFO-over-VMs queue.
+			if ok && st.free && st.freeGen == e.seq {
 				p.setBusy(e.machine, e.slot)
 				return e.machine, e.slot, nil
 			}
@@ -205,4 +232,119 @@ func (p *FreePool) Category(machine, slot int) (string, bool) {
 		return "", false
 	}
 	return st.category, true
+}
+
+// OldestFree returns the free slot that has been free the longest — the
+// slot Pop(AnyCategory) is contractually bound to take next. It is a pure
+// read (O(slots)) used by the invariant auditor to validate FIFO fairness.
+func (p *FreePool) OldestFree() (machine, slot int, ok bool) {
+	p.enter()
+	defer p.leave()
+	best := int64(0)
+	for key, st := range p.state {
+		if !st.free {
+			continue
+		}
+		if !ok || st.freeGen < best {
+			best = st.freeGen
+			machine, slot = int(key>>8), int(key&0xff)
+			ok = true
+		}
+	}
+	return machine, slot, ok
+}
+
+// PoolStats reports the pool's internal sizes, for observability and the
+// bounded-garbage tests.
+type PoolStats struct {
+	// FreeSlots is the number of live free slots.
+	FreeSlots int
+	// GlobalHeapLen is the global FIFO heap's length, stale entries
+	// included.
+	GlobalHeapLen int
+	// CategoryHeapLen is the summed length of all category heaps, stale
+	// entries included.
+	CategoryHeapLen int
+	// Categories is the number of category heaps ever created.
+	Categories int
+}
+
+// Stats returns the current PoolStats.
+func (p *FreePool) Stats() PoolStats {
+	p.enter()
+	defer p.leave()
+	s := PoolStats{GlobalHeapLen: p.global.Len(), Categories: len(p.heaps)}
+	for _, n := range p.counts {
+		if n > 0 {
+			s.FreeSlots += n
+		}
+	}
+	for _, h := range p.heaps {
+		s.CategoryHeapLen += h.Len()
+	}
+	return s
+}
+
+// compactMinLen mirrors the simulation engine's backlog-compaction
+// heuristic: a heap is rebuilt only once it is both large in absolute terms
+// and dominated by stale entries, so compaction cost amortizes to O(1) per
+// push.
+const compactMinLen = 4096
+
+// liveFree is the total number of live free slots (internal; callers hold
+// the reentry guard).
+func (p *FreePool) liveFree() int {
+	t := 0
+	for _, n := range p.counts {
+		if n > 0 {
+			t += n
+		}
+	}
+	return t
+}
+
+// maybeCompactGlobal rebuilds the global heap keeping only entries whose
+// freed-order stamp still matches the authoritative slot state.
+func (p *FreePool) maybeCompactGlobal() {
+	if p.global.Len() <= compactMinLen || p.global.Len() <= 2*p.liveFree() {
+		return
+	}
+	keep := p.global[:0]
+	for _, e := range p.global {
+		st, ok := p.state[slotKey(e.machine, e.slot)]
+		if ok && st.free && st.freeGen == e.seq {
+			keep = append(keep, e)
+		}
+	}
+	p.global = keep
+	heap.Init(&p.global)
+}
+
+// maybeCompactCategory rebuilds one category heap, dropping stale entries
+// and deduplicating live ones (a slot re-freed under the same category can
+// legitimately appear twice).
+func (p *FreePool) maybeCompactCategory(category string) {
+	h, ok := p.heaps[category]
+	if !ok {
+		return
+	}
+	live := p.counts[category]
+	if live < 0 {
+		live = 0
+	}
+	if h.Len() <= compactMinLen || h.Len() <= 2*live {
+		return
+	}
+	seen := make(map[int64]bool, live)
+	keep := (*h)[:0]
+	for _, e := range *h {
+		key := slotKey(e.machine, e.slot)
+		st, oks := p.state[key]
+		if oks && st.free && st.category == e.category && !seen[key] {
+			seen[key] = true
+			keep = append(keep, e)
+		}
+	}
+	*h = keep
+	heap.Init(h)
 }

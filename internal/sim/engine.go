@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"tracon/internal/sched"
 )
@@ -27,6 +28,10 @@ type Config struct {
 	// Power is the per-machine power model for energy accounting; the zero
 	// value takes DefaultPower.
 	Power PowerModel
+	// Observer, when non-nil, receives synchronous lifecycle callbacks
+	// (see observe.go). nil costs nothing, and observers must not perturb
+	// the simulation's outputs.
+	Observer Observer
 }
 
 // vmsPerMachine is fixed at the paper's configuration ("each physical
@@ -77,6 +82,8 @@ type runningTask struct {
 	lastUpdate float64
 	start      float64
 	gen        int64
+	predicted  float64 // runtime forecast frozen at placement (observers)
+	rawLeft    float64 // last pre-clamp workLeft from settle (observers)
 }
 
 type machineState struct {
@@ -124,9 +131,20 @@ type Results struct {
 	LastFinish float64
 }
 
-// Throughput returns completed tasks per the whole horizon — the T_S of
-// Section 4.7.
-func (r *Results) Throughput() float64 { return float64(r.CompletedCount) }
+// CompletedTasks returns the completed-task count as a float64. This is
+// the T_S of Section 4.7: the paper reports it normalized against FIFO on
+// the same arrivals and horizon, so the horizon divides out and the raw
+// count is the right quantity. (It was previously named Throughput, which
+// wrongly suggested a rate.)
+func (r *Results) CompletedTasks() float64 { return float64(r.CompletedCount) }
+
+// TasksPerHour is a true rate: completed tasks per simulated hour.
+func (r *Results) TasksPerHour() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(r.CompletedCount) / (r.Horizon / 3600)
+}
 
 // MeanRuntime returns the average execution time of completed tasks.
 func (r *Results) MeanRuntime() float64 {
@@ -158,6 +176,15 @@ type Engine struct {
 	genSeq   int64
 	results  Results
 	table    *InterferenceTable
+	// nextFlushAt is the armed flush wake-up's time (+Inf when none). The
+	// engine keeps at most one flush armed — the head task's deadline — so
+	// the event heap stays O(machines + pending completions) instead of
+	// growing one flush per enqueued task.
+	nextFlushAt float64
+	// naiveFlush restores the pre-optimization one-flush-per-enqueue
+	// behaviour; the flush-equivalence test uses it to prove the suppressed
+	// schedule is byte-identical to the naive one.
+	naiveFlush bool
 }
 
 // NewEngine validates the config and prepares an idle cluster.
@@ -175,10 +202,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.Power = DefaultPower()
 	}
 	e := &Engine{
-		cfg:      cfg,
-		machines: make([]machineState, cfg.Machines),
-		pool:     sched.NewFreePool(),
-		table:    cfg.Table,
+		cfg:         cfg,
+		machines:    make([]machineState, cfg.Machines),
+		pool:        sched.NewFreePool(),
+		table:       cfg.Table,
+		nextFlushAt: math.Inf(1),
 	}
 	e.results.Scheduler = cfg.Scheduler.Name()
 	for m := 0; m < cfg.Machines; m++ {
@@ -232,10 +260,18 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 				return nil, err
 			}
 		case evFlush:
-			// Just a wake-up; scheduling below.
+			// Just a wake-up; scheduling below. The armed flush is spent;
+			// ensureFlush re-arms for the remaining head if needed.
+			e.nextFlushAt = math.Inf(1)
 		}
 		if err := e.trySchedule(); err != nil {
 			return nil, err
+		}
+		e.ensureFlush()
+		if e.cfg.Observer != nil {
+			if oerr := e.cfg.Observer.OnEvent(View{e}, observedKind(ev.kind), e.now); oerr != nil {
+				return nil, fmt.Errorf("sim: observer: %w", oerr)
+			}
 		}
 	}
 	if math.IsInf(horizon, 1) {
@@ -244,12 +280,29 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 		e.results.Horizon = horizon
 	}
 	e.flushEnergy(e.results.Horizon)
+	if e.cfg.Observer != nil {
+		if oerr := e.cfg.Observer.OnDone(View{e}, &e.results); oerr != nil {
+			return nil, fmt.Errorf("sim: observer: %w", oerr)
+		}
+	}
 	return &e.results, nil
 }
 
-// enqueue adds a schedulable task to the backlog and arms a flush check so
-// a partial batch cannot starve waiting for a batch scheduler's queue to
-// fill.
+// observedKind maps the internal event kind to the observer-facing one.
+func observedKind(k eventKind) EventKind {
+	switch k {
+	case evArrival:
+		return EvArrival
+	case evCompletion:
+		return EvCompletion
+	default:
+		return EvFlush
+	}
+}
+
+// enqueue adds a schedulable task to the backlog. Flush wake-ups (so a
+// partial batch cannot starve waiting for a batch scheduler's queue to
+// fill) are armed by ensureFlush after the scheduling pass.
 func (e *Engine) enqueue(t sched.Task) {
 	e.queue = append(e.queue, t)
 	// Compact the backlog when the dead prefix dominates.
@@ -257,7 +310,33 @@ func (e *Engine) enqueue(t sched.Task) {
 		e.queue = append(e.queue[:0], e.queue[e.qhead:]...)
 		e.qhead = 0
 	}
-	e.push(event{time: e.now + e.cfg.FlushTimeout, kind: evFlush})
+	if e.naiveFlush {
+		e.push(event{time: e.now + e.cfg.FlushTimeout, kind: evFlush})
+	}
+}
+
+// ensureFlush keeps exactly one flush wake-up armed at the backlog head's
+// deadline (arrival + FlushTimeout). Arming one flush per enqueued task —
+// the previous scheme — bloated the event heap O(tasks); one armed flush
+// gives the identical schedule because the backlog is ordered by arrival,
+// so the head's deadline is always the earliest one, and a flush at any
+// later queued task's deadline would find the head already over its
+// timeout and force the same scheduling pass.
+func (e *Engine) ensureFlush() {
+	if e.naiveFlush || e.backlog() == 0 {
+		return
+	}
+	deadline := e.queue[e.qhead].Arrival + e.cfg.FlushTimeout
+	// deadline <= now means the head is already past its timeout and the
+	// scheduling pass that just ran could not place it (no free slots or
+	// the policy declined); a wake-up would re-run the same decision on the
+	// same state. The next arrival or completion re-triggers scheduling,
+	// exactly as the per-task scheme behaved once its flushes were spent.
+	if deadline <= e.now || e.nextFlushAt <= deadline {
+		return
+	}
+	e.push(event{time: deadline, kind: evFlush})
+	e.nextFlushAt = deadline
 }
 
 func (e *Engine) push(ev event) {
@@ -275,6 +354,7 @@ func (e *Engine) settle(m int) {
 			continue
 		}
 		rt.workLeft -= rt.rate * (e.now - rt.lastUpdate)
+		rt.rawLeft = rt.workLeft // pre-clamp, for work-conservation audits
 		if rt.workLeft < 0 {
 			rt.workLeft = 0
 		}
@@ -323,6 +403,12 @@ func (e *Engine) complete(m, slot int) error {
 	}
 	ms.slots[slot] = nil
 	rec := TaskRecord{Task: rt.task, Start: rt.start, Finish: e.now, Machine: m, Slot: slot}
+	if e.cfg.Observer != nil {
+		c := Completion{Record: rec, Predicted: rt.predicted, Residual: rt.rawLeft}
+		if oerr := e.cfg.Observer.OnComplete(View{e}, c); oerr != nil {
+			return fmt.Errorf("sim: observer: %w", oerr)
+		}
+	}
 	// Release any workflow tasks this completion unblocks.
 	for _, released := range e.deps.complete(rt.task.ID) {
 		released.Arrival = e.now // became schedulable now; Wait() measures queueing
@@ -376,6 +462,10 @@ func (e *Engine) place(t sched.Task, m, slot int) error {
 		e.pool.SetFree(m, 1-slot, t.App)
 	}
 	e.reprice(m)
+	// Freeze the placement-time runtime forecast for observers (reprice
+	// just set the rate under the placement's neighbour).
+	rt := ms.slots[slot]
+	rt.predicted = rt.workLeft / rt.rate
 	e.settleEnergy(m) // re-sample power under the new membership
 	return nil
 }
@@ -395,19 +485,41 @@ func (e *Engine) trySchedule() error {
 		}
 		batch := append([]sched.Task(nil), e.queue[e.qhead:e.qhead+batchLen]...)
 		load := sched.Load{TotalSlots: e.cfg.Machines * vmsPerMachine, Queued: n}
+		var t0 time.Time
+		if e.cfg.Observer != nil {
+			t0 = time.Now()
+		}
 		placements, err := e.cfg.Scheduler.Schedule(batch, e.pool.Counts(), load)
 		if err != nil {
 			return err
+		}
+		if e.cfg.Observer != nil {
+			info := ScheduleInfo{Batch: len(batch), Placed: len(placements), Wall: time.Since(t0)}
+			if oerr := e.cfg.Observer.OnSchedule(View{e}, info); oerr != nil {
+				return fmt.Errorf("sim: observer: %w", oerr)
+			}
 		}
 		if len(placements) == 0 {
 			return nil
 		}
 		placed := map[int64]bool{}
 		for _, p := range placements {
+			var pop PopInfo
+			if e.cfg.Observer != nil && p.Category == sched.AnyCategory {
+				// Snapshot the FIFO-over-VMs contract's answer before the pop
+				// consumes it, so the auditor can hold Pop to it.
+				pop.OldestMachine, pop.OldestSlot, pop.OldestOK = e.pool.OldestFree()
+			}
 			m, slot, err := e.pool.Pop(p.Category)
 			if err != nil {
 				return fmt.Errorf("sim: scheduler %s emitted unexecutable placement %+v: %w",
 					e.cfg.Scheduler.Name(), p, err)
+			}
+			if e.cfg.Observer != nil {
+				pop.Category, pop.Machine, pop.Slot = p.Category, m, slot
+				if oerr := e.cfg.Observer.OnPop(View{e}, pop); oerr != nil {
+					return fmt.Errorf("sim: observer: %w", oerr)
+				}
 			}
 			if err := e.place(p.Task, m, slot); err != nil {
 				return err

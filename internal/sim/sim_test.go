@@ -540,7 +540,7 @@ func TestDropRecordsKeepsAggregates(t *testing.T) {
 
 func TestMeanHelpers(t *testing.T) {
 	r := &Results{}
-	if r.MeanRuntime() != 0 || r.MeanWait() != 0 || r.Throughput() != 0 {
+	if r.MeanRuntime() != 0 || r.MeanWait() != 0 || r.CompletedTasks() != 0 {
 		t.Fatal("zero-value Results helpers broken")
 	}
 	r.CompletedCount = 4
