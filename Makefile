@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race audit bench clean
+.PHONY: ci vet build test race audit trace bench bench-json clean
 
-ci: vet build test race audit
+ci: vet build test race audit trace
 
 vet:
 	$(GO) vet ./...
@@ -29,9 +29,22 @@ race:
 audit:
 	$(GO) run ./cmd/traconbench -quick -hours 0.5 -only table1,fig3,fig8,fig9 -audit -parallel 4 > /dev/null
 
+# Tracing gate: the tracontrace CLI must build and the trace exports must
+# be byte-identical across worker counts (and leave results untouched).
+trace:
+	$(GO) build -o /dev/null ./cmd/tracontrace
+	$(GO) test ./internal/experiments -run TestTraceExportDeterministicAcrossWorkers -short -count=1
+	$(GO) test ./internal/obs -run 'TestTrace|TestTracer|TestPerfetto' -count=1
+
 # Regenerate the paper exhibits through the benchmark harness.
 bench:
 	$(GO) test -bench=. -benchmem -count=1 .
+
+# Machine-readable benchmark snapshot of the engine-critical paths; the
+# checked-in BENCH_pr3.json is this target's output at the PR-3 baseline.
+bench-json:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkNewEnv|BenchmarkFig9$$|BenchmarkSchedulerOverhead' \
+		-benchmem -benchtime 1x -count=1 . > BENCH_pr3.json
 
 clean:
 	$(GO) clean ./...

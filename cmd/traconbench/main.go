@@ -48,11 +48,26 @@ func main() {
 		metricDir = flag.String("metrics-dir", "results", "directory for -metrics exports")
 		audit     = flag.Bool("audit", false, "attach the invariant auditor to every simulation; exits 1 if any violation is found")
 		auditN    = flag.Int("audit-every", 32, "audit full-state scan sampling: one scan per N events (O(1) checks always run)")
+		traceRuns = flag.Bool("trace", false, "record per-task lifecycle traces; writes trace_seed<seed>.ndjson under -trace-dir (inspect with tracontrace)")
+		traceDir  = flag.String("trace-dir", "results", "directory for -trace exports")
+		traceCap  = flag.Int("trace-cap", obs.DefaultTraceCap, "per-run trace ring capacity in events; the oldest events drop beyond it")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *parallel < 1 {
 		*parallel = 1
 	}
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -88,6 +103,13 @@ func main() {
 	var auditors []*obs.InvariantAuditor
 	if *metrics {
 		collector = obs.NewCollector()
+	}
+	var traces *obs.TraceCollector
+	if *traceRuns {
+		traces = obs.NewTraceCollector(*traceCap)
+		env.Trace = func(kind, scheduler string, machines int, tasks []sched.Task) sim.Tracer {
+			return traces.Tracer(obs.RunLabel(kind, scheduler, machines, tasks), scheduler, machines)
+		}
 	}
 	if *metrics || *audit {
 		env.Observe = func(kind, scheduler string, machines int, tasks []sched.Task) sim.Observer {
@@ -130,6 +152,16 @@ func main() {
 			log.Fatalf("exporting metrics: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "metrics: %d runs → %s, %s\n", collector.Len(), jsonPath, csvPath)
+	}
+	if traces != nil {
+		path, err := traces.Export(*traceDir, fmt.Sprintf("seed%d", *seed))
+		if err != nil {
+			log.Fatalf("exporting traces: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "traces: %d runs → %s (inspect with tracontrace -in %s)\n", traces.Len(), path, path)
+		if n := traces.Collisions(); n > 0 {
+			fmt.Fprintf(os.Stderr, "traces: WARNING: %d run-label collisions; the export is complete but not worker-count-deterministic\n", n)
+		}
 	}
 	if *audit {
 		var total int64

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"tracon"
+	"tracon/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,20 @@ func main() {
 		storage   = flag.String("storage", "hdd", "device: hdd, iscsi, ssd")
 		pairs     = flag.Bool("pairs", false, "print the pairwise predicted-slowdown matrix")
 		seed      = flag.Int64("seed", 1, "random seed")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	start := time.Now()
 	sys, err := tracon.New(tracon.Config{

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tracon"
+	"tracon/internal/obs"
 )
 
 func main() {
@@ -37,8 +38,20 @@ func main() {
 		oracle    = flag.Bool("oracle", false, "use ground-truth predictions (upper bound)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		noCompare = flag.Bool("nocompare", false, "skip the FIFO baseline run")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	start := time.Now()
 	fmt.Fprintln(os.Stderr, "bringing up TRACON (profiling + model training)...")

@@ -1,0 +1,92 @@
+// Command tracontrace analyses the NDJSON trace exports that traconbench
+// -trace (or any obs.Tracer user) writes: per-app queue-wait/execution/
+// dilation breakdowns, the longest-waiting tasks, per-machine contention
+// timelines and the completion-time critical path. It also converts one
+// run to Chrome/Perfetto trace_event JSON for chrome://tracing or
+// ui.perfetto.dev.
+//
+// Examples:
+//
+//	tracontrace -in results/trace_seed1.ndjson -list
+//	tracontrace -in results/trace_seed1.ndjson -run dynamic/MIBS8-RT
+//	tracontrace -in results/trace_seed1.ndjson -run fifo -top 20
+//	tracontrace -in results/trace_seed1.ndjson -run spotcheck -perfetto out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tracon/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracontrace: ")
+
+	var (
+		in       = flag.String("in", "", "NDJSON trace export to read (default: stdin)")
+		run      = flag.String("run", "", "only analyse runs whose label contains this substring")
+		list     = flag.Bool("list", false, "list matching runs (label, scheduler, machines, events) and exit")
+		topK     = flag.Int("top", 10, "how many longest-waiting tasks to print")
+		perfetto = flag.String("perfetto", "", "write the matching run as Chrome/Perfetto trace_event JSON to this file (requires the filter to match exactly one run)")
+	)
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	runs, err := obs.ReadTraces(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(runs) == 0 {
+		log.Fatal("no runs in input")
+	}
+	matched := obs.FindRuns(runs, *run)
+	if len(matched) == 0 {
+		log.Fatalf("no runs match -run %q (input has %d runs; use -list to see them)", *run, len(runs))
+	}
+
+	if *list {
+		fmt.Printf("%-28s %-12s %9s %9s %9s\n", "label", "scheduler", "machines", "events", "dropped")
+		for _, r := range matched {
+			fmt.Printf("%-28s %-12s %9d %9d %9d\n", r.Label, r.Scheduler, r.Machines, r.Total, r.Dropped)
+		}
+		return
+	}
+
+	if *perfetto != "" {
+		if len(matched) != 1 {
+			log.Fatalf("-perfetto needs exactly one run, but -run %q matches %d; tighten the filter (use -list)", *run, len(matched))
+		}
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WritePerfetto(f, matched[0]); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *perfetto)
+		return
+	}
+
+	for i, r := range matched {
+		if i > 0 {
+			fmt.Println()
+		}
+		r.Summarize(os.Stdout, *topK)
+	}
+}

@@ -44,6 +44,12 @@ type Env struct {
 	// key any shared state by its arguments — never by call order — so that
 	// observed artifacts stay identical across worker counts.
 	Observe ObserverFactory
+
+	// Trace, when non-nil, supplies a tracer for every simulation the
+	// experiments launch. Same contract as Observe: one call per engine
+	// run, keyed by arguments so each run records into its own tracer and
+	// exports stay identical across worker counts.
+	Trace TracerFactory
 }
 
 // ObserverFactory builds the observer for one simulation run. kind names
@@ -52,12 +58,24 @@ type Env struct {
 // identifies the run deterministically (see obs.RunLabel).
 type ObserverFactory func(kind, scheduler string, machines int, tasks []sched.Task) sim.Observer
 
+// TracerFactory builds the tracer for one simulation run; arguments as in
+// ObserverFactory.
+type TracerFactory func(kind, scheduler string, machines int, tasks []sched.Task) sim.Tracer
+
 // observer resolves the factory for one run, nil-safe.
 func (e *Env) observer(kind, scheduler string, machines int, tasks []sched.Task) sim.Observer {
 	if e.Observe == nil {
 		return nil
 	}
 	return e.Observe(kind, scheduler, machines, tasks)
+}
+
+// tracer resolves the tracer factory for one run, nil-safe.
+func (e *Env) tracer(kind, scheduler string, machines int, tasks []sched.Task) sim.Tracer {
+	if e.Trace == nil {
+		return nil
+	}
+	return e.Trace(kind, scheduler, machines, tasks)
 }
 
 // NewEnv measures, profiles and trains everything once, sequentially. With
@@ -220,12 +238,21 @@ func poissonTasks(mix workload.IOIntensity, lambda, horizon float64, seed int64)
 
 // runStatic executes a static batch to completion.
 func (e *Env) runStatic(s sched.Scheduler, machines int, tasks []sched.Task) (*sim.Results, error) {
+	return e.runStaticTagged("static", s, machines, tasks)
+}
+
+// runStaticTagged is runStatic with an explicit run-kind tag. Call sites
+// that launch the same scheduler on the same task stream more than once —
+// fig4 reruns MIBS per model family — must tag each launch distinctly, or
+// the runs collide on one observability label (see obs.RunLabel).
+func (e *Env) runStaticTagged(kind string, s sched.Scheduler, machines int, tasks []sched.Task) (*sim.Results, error) {
 	eng, err := sim.NewEngine(sim.Config{
 		Machines:    machines,
 		Scheduler:   s,
 		Table:       e.Table,
 		DropRecords: len(tasks) > 200000,
-		Observer:    e.observer("static", s.Name(), machines, tasks),
+		Observer:    e.observer(kind, s.Name(), machines, tasks),
+		Tracer:      e.tracer(kind, s.Name(), machines, tasks),
 	})
 	if err != nil {
 		return nil, err
@@ -241,6 +268,7 @@ func (e *Env) runDynamic(s sched.Scheduler, machines int, tasks []sched.Task, ho
 		Table:       e.Table,
 		DropRecords: true,
 		Observer:    e.observer("dynamic", s.Name(), machines, tasks),
+		Tracer:      e.tracer("dynamic", s.Name(), machines, tasks),
 	})
 	if err != nil {
 		return nil, err

@@ -44,14 +44,18 @@ func Fig4(e *Env, batches int) (*Fig4Result, error) {
 			return nil, err
 		}
 		for _, k := range res.Kinds {
-			rt, err := e.runStatic(&sched.MIBS{
+			// Tag runs with the model family: the scheduler name and task
+			// stream repeat across WMM/LM/NLM, so the family must key the
+			// observability label.
+			tag := "static-" + k.String()
+			rt, err := e.runStaticTagged(tag, &sched.MIBS{
 				Scorer:   e.scorerFor(k, sched.MinRuntime, false),
 				QueueLen: batchSize,
 			}, machines, tasks)
 			if err != nil {
 				return nil, err
 			}
-			io, err := e.runStatic(&sched.MIBS{
+			io, err := e.runStaticTagged(tag, &sched.MIBS{
 				Scorer:   e.scorerFor(k, sched.MaxIOPS, false),
 				QueueLen: batchSize,
 			}, machines, tasks)

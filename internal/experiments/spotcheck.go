@@ -62,6 +62,7 @@ func SpotCheck10k(e *Env, horizonHours float64) (*SpotCheckResult, error) {
 					Table:       e.Table,
 					DropRecords: true,
 					Observer:    e.observer("spotcheck", s.Name(), machines/groups, routed[g]),
+					Tracer:      e.tracer("spotcheck", s.Name(), machines/groups, routed[g]),
 				})
 				if err != nil {
 					errs[g] = err

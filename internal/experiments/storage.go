@@ -91,6 +91,7 @@ func storageRow(e *Env, dev xen.DiskParams) (StorageRow, error) {
 				// The device name keys the label: the task stream and cluster
 				// size repeat across devices, only the table differs.
 				Observer: e.observer("storage-"+dev.Name, s.Name(), 16, tasks),
+				Tracer:   e.tracer("storage-"+dev.Name, s.Name(), 16, tasks),
 			})
 			if err != nil {
 				return nil, err

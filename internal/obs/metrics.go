@@ -148,6 +148,48 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.N)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank, assuming non-negative
+// observations (the first bucket interpolates from zero). An empty
+// histogram returns 0. Ranks falling into the overflow bucket return the
+// last bound — the histogram cannot see beyond it, so the estimate is a
+// lower bound there.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.N)
+	var cum float64
+	for i, b := range s.Bounds {
+		c := float64(s.Counts[i])
+		if cum+c >= target && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (target - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(b-lo)
+		}
+		cum += c
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile estimates the q-quantile of the live histogram.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
 // Snapshot copies the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()

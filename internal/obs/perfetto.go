@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome/Perfetto trace_event export: the run becomes one process per
+// machine (one thread per VM slot, carrying the interference-dilated
+// execution segments as complete "X" spans) plus one scheduler process
+// carrying queue-wait spans (async "b"/"e" pairs keyed by task ID),
+// decision instants and backlog/free-slot counters. The output opens in
+// ui.perfetto.dev or chrome://tracing. Sim seconds map to trace
+// microseconds. Everything is derived from the event stream in order, so
+// the export is deterministic.
+
+// perfettoEvent is one trace_event entry. Field order fixes the JSON
+// layout; Args is map-backed and encoding/json sorts map keys, so the
+// bytes are stable.
+type perfettoEvent struct {
+	Name  string                 `json:"name,omitempty"`
+	Cat   string                 `json:"cat,omitempty"`
+	Ph    string                 `json:"ph"`
+	TS    float64                `json:"ts"`
+	Dur   *float64               `json:"dur,omitempty"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid,omitempty"`
+	ID    *int64                 `json:"id,omitempty"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+const usPerSec = 1e6
+
+// openSeg tracks a not-yet-closed execution segment on one VM slot.
+type openSeg struct {
+	start     float64
+	task      int64
+	app       string
+	rate      float64
+	neighbour string
+}
+
+// WritePerfetto renders the run as Chrome/Perfetto trace_event JSON.
+func WritePerfetto(w io.Writer, run *RunTrace) error {
+	// pid 0 is reserved by the UI; machines map to pid = index+1 and the
+	// scheduler to the next pid after the highest machine seen.
+	maxMachine := run.Machines - 1
+	for _, ev := range run.Events {
+		switch {
+		case ev.Segment != nil && ev.Segment.Machine > maxMachine:
+			maxMachine = ev.Segment.Machine
+		case ev.Place != nil && ev.Place.Machine > maxMachine:
+			maxMachine = ev.Place.Machine
+		case ev.Complete != nil && ev.Complete.Machine > maxMachine:
+			maxMachine = ev.Complete.Machine
+		}
+	}
+	schedPID := maxMachine + 2
+
+	var out perfettoFile
+	out.DisplayTimeUnit = "ms"
+	meta := func(pid, tid int, kind, name string) {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: kind, Ph: "M", PID: pid, TID: tid,
+			Args: map[string]interface{}{"name": name},
+		})
+	}
+	schedName := run.Scheduler
+	if schedName == "" {
+		schedName = "scheduler"
+	}
+	meta(schedPID, 0, "process_name", "scheduler "+schedName)
+	usedMachine := map[int]bool{}
+	machineMeta := func(m int) {
+		if usedMachine[m] {
+			return
+		}
+		usedMachine[m] = true
+	}
+
+	// Track open execution segments per slot and open wait spans per task.
+	type slotKey struct{ m, s int }
+	openSegs := map[slotKey]openSeg{}
+	waitOpen := map[int64]bool{}
+
+	span := func(m, s int, seg openSeg, end float64) {
+		dur := (end - seg.start) * usPerSec
+		args := map[string]interface{}{"task": seg.task, "rate": seg.rate}
+		if seg.neighbour != "" {
+			args["neighbour"] = seg.neighbour
+		}
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: seg.app, Cat: "exec", Ph: "X", TS: seg.start * usPerSec,
+			Dur: &dur, PID: m + 1, TID: s + 1, Args: args,
+		})
+	}
+
+	var lastT float64
+	for _, ev := range run.Events {
+		lastT = ev.T
+		switch ev.Kind {
+		case "enqueue":
+			e := ev.Enqueue
+			id := e.Task
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: e.App, Cat: "wait", Ph: "b", TS: ev.T * usPerSec,
+				PID: schedPID, TID: 1, ID: &id,
+			})
+			waitOpen[e.Task] = true
+		case "place":
+			p := ev.Place
+			machineMeta(p.Machine)
+			if waitOpen[p.Task] {
+				id := p.Task
+				out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+					Name: p.App, Cat: "wait", Ph: "e", TS: ev.T * usPerSec,
+					PID: schedPID, TID: 1, ID: &id,
+				})
+				delete(waitOpen, p.Task)
+			}
+		case "segment":
+			s := ev.Segment
+			machineMeta(s.Machine)
+			key := slotKey{s.Machine, s.Slot}
+			if open, ok := openSegs[key]; ok && ev.T > open.start {
+				span(s.Machine, s.Slot, open, ev.T)
+			}
+			openSegs[key] = openSeg{
+				start: ev.T, task: s.Task, app: s.App,
+				rate: s.Rate, neighbour: s.Neighbour,
+			}
+		case "complete":
+			c := ev.Complete
+			machineMeta(c.Machine)
+			key := slotKey{c.Machine, c.Slot}
+			if open, ok := openSegs[key]; ok {
+				span(c.Machine, c.Slot, open, ev.T)
+				delete(openSegs, key)
+			}
+		case "decision":
+			d := ev.Decision
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: "decision", Cat: "sched", Ph: "i", TS: ev.T * usPerSec,
+				PID: schedPID, TID: 1, Scope: "t",
+				Args: map[string]interface{}{
+					"batch": d.Batch, "placed": d.Placed,
+					"backlog": d.Backlog, "free_slots": d.FreeSlots,
+				},
+			})
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: "backlog", Ph: "C", TS: ev.T * usPerSec, PID: schedPID,
+				Args: map[string]interface{}{"queued": d.Backlog},
+			})
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: "free_slots", Ph: "C", TS: ev.T * usPerSec, PID: schedPID,
+				Args: map[string]interface{}{"free": d.FreeSlots},
+			})
+		}
+	}
+	// Close segments still running when the trace ends (horizon cut),
+	// in deterministic slot order.
+	keys := make([]slotKey, 0, len(openSegs))
+	for k := range openSegs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].m != keys[j].m {
+			return keys[i].m < keys[j].m
+		}
+		return keys[i].s < keys[j].s
+	})
+	for _, k := range keys {
+		open := openSegs[k]
+		if lastT > open.start {
+			span(k.m, k.s, open, lastT)
+		}
+	}
+	// Name the machine processes and slot threads actually used.
+	machines := make([]int, 0, len(usedMachine))
+	for m := range usedMachine {
+		machines = append(machines, m)
+	}
+	sort.Ints(machines)
+	for _, m := range machines {
+		meta(m+1, 0, "process_name", fmt.Sprintf("machine %d", m))
+		meta(m+1, 1, "thread_name", "vm0")
+		meta(m+1, 2, "thread_name", "vm1")
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WritePerfetto renders this tracer's retained events (a convenience for
+// in-process export; file-based pipelines go NDJSON → tracontrace).
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	return WritePerfetto(w, &RunTrace{
+		Label: t.label, Scheduler: t.scheduler, Machines: t.machines,
+		Total: t.Total(), Dropped: t.Dropped(), Events: t.Events(),
+	})
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles turns on the runtime profilers the CLIs expose via
+// -cpuprofile / -memprofile. CPU profiling starts immediately when cpuPath
+// is non-empty; the returned stop function ends it and, when memPath is
+// non-empty, garbage-collects and writes an allocs-accounted heap profile.
+// Either path may be empty, in which case that profile is skipped; stop is
+// never nil and is safe to call exactly once.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+			// Collect garbage first so the profile reflects live objects,
+			// not whatever the last GC cycle happened to leave behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -247,6 +247,12 @@ type RunStats struct {
 	MeanQueueLen    float64 `json:"mean_queue_len"`
 	MaxQueueLen     int     `json:"max_queue_len"`
 
+	// QueueP50/P95/P99 are event-weighted queue-length quantiles estimated
+	// from QueueHist by linear interpolation within buckets.
+	QueueP50 float64 `json:"queue_p50"`
+	QueueP95 float64 `json:"queue_p95"`
+	QueueP99 float64 `json:"queue_p99"`
+
 	Events        map[string]int64  `json:"events"`
 	QueueHist     HistogramSnapshot `json:"queue_hist"`
 	QueueTimeline []TimelinePoint   `json:"queue_timeline"`
@@ -291,6 +297,9 @@ func (s *SimStats) Snapshot(includeWall bool) RunStats {
 	for k, n := range s.events {
 		out.Events[k] = n
 	}
+	out.QueueP50 = round9(out.QueueHist.Quantile(0.50))
+	out.QueueP95 = round9(out.QueueHist.Quantile(0.95))
+	out.QueueP99 = round9(out.QueueHist.Quantile(0.99))
 	if s.span > 0 {
 		out.SlotUtilization = round9(s.busyIntegral / (float64(s.totalSlots) * s.span))
 		out.MeanQueueLen = round9(s.queueIntegral / s.span)
@@ -417,6 +426,7 @@ var csvHeader = []string{
 	"label", "scheduler", "machines", "slots", "completed", "submitted",
 	"horizon_s", "energy_j", "mean_runtime_s", "mean_wait_s",
 	"slot_utilization", "mean_queue_len", "max_queue_len",
+	"queue_p50", "queue_p95", "queue_p99",
 	"max_event_heap", "max_pool_global_heap", "max_pool_category_heap",
 	"pops_total", "pops_any", "sched_calls", "sched_placed",
 	"mean_abs_rel_err",
@@ -448,6 +458,7 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Completed), strconv.Itoa(r.Submitted),
 			f(r.Horizon), f(r.EnergyJ), f(r.MeanRuntime), f(r.MeanWait),
 			f(r.SlotUtilization), f(r.MeanQueueLen), strconv.Itoa(r.MaxQueueLen),
+			f(r.QueueP50), f(r.QueueP95), f(r.QueueP99),
 			strconv.Itoa(r.MaxEventHeap), strconv.Itoa(r.MaxGlobalHeap),
 			strconv.Itoa(r.MaxCategoryHeap),
 			d(r.PopsTotal), d(r.PopsAny), d(r.SchedCalls), d(r.SchedPlaced),

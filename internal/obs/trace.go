@@ -1,0 +1,463 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"tracon/internal/sched"
+	"tracon/internal/sim"
+)
+
+// This file implements sim.Tracer: a deterministic, bounded recorder of
+// per-task lifecycle spans and scheduler decisions. Events land in a ring
+// buffer of fixed capacity with an explicit drop counter, so tracing a
+// 10,000-machine run costs O(capacity) memory and the export says exactly
+// how much history it kept. Two export formats are supported: a compact
+// NDJSON stream (the canonical, machine-readable form consumed by
+// cmd/tracontrace) and Chrome/Perfetto trace_event JSON (one track per
+// machine, one for the scheduler) for chrome://tracing or ui.perfetto.dev.
+//
+// Every event payload is a pure function of the simulated run and events
+// are recorded in engine order, so for a fixed seed the exports are
+// byte-identical no matter how many workers executed the experiment suite
+// — provided run labels are input-derived (see RunLabel) so each engine
+// run feeds its own Tracer.
+
+// TraceSchema versions the NDJSON stream.
+const TraceSchema = 1
+
+// DefaultTraceCap is the default ring capacity (events per run).
+const DefaultTraceCap = 1 << 16
+
+// TraceEvent is one recorded simulation event. Exactly one payload pointer
+// is non-nil, matching Kind.
+type TraceEvent struct {
+	// Seq is the event's emission index within its run (0-based, counts
+	// dropped events too: a stream that starts at Seq > 0 lost its head).
+	Seq int64 `json:"seq"`
+	// T is the simulation time in seconds.
+	T float64 `json:"t"`
+	// Kind is one of arrival, enqueue, flush, decision, pop, place,
+	// segment, complete, done.
+	Kind string `json:"k"`
+
+	Arrival  *ArrivalInfo  `json:"arrival,omitempty"`
+	Enqueue  *EnqueueInfo  `json:"enqueue,omitempty"`
+	Decision *DecisionInfo `json:"decision,omitempty"`
+	Pop      *PopInfo      `json:"pop,omitempty"`
+	Place    *PlaceInfo    `json:"place,omitempty"`
+	Segment  *SegmentInfo  `json:"segment,omitempty"`
+	Complete *CompleteInfo `json:"complete,omitempty"`
+	Done     *DoneInfo     `json:"done,omitempty"`
+}
+
+// ArrivalInfo records one task arrival.
+type ArrivalInfo struct {
+	Task int64  `json:"task"`
+	App  string `json:"app"`
+	// Held marks tasks parked on unmet workflow dependencies.
+	Held bool    `json:"held,omitempty"`
+	Deps []int64 `json:"deps,omitempty"`
+}
+
+// EnqueueInfo records a task entering the scheduling backlog.
+type EnqueueInfo struct {
+	Task int64  `json:"task"`
+	App  string `json:"app"`
+	// Released marks tasks a workflow-dependency completion unblocked.
+	Released bool `json:"released,omitempty"`
+}
+
+// DecisionInfo records one scheduling-policy invocation: what the policy
+// was offered, what it placed, and the candidate set it chose from.
+type DecisionInfo struct {
+	Batch      int             `json:"batch"`
+	Placed     int             `json:"placed"`
+	Backlog    int             `json:"backlog"`
+	FreeSlots  int             `json:"free_slots"`
+	Candidates []CategoryCount `json:"candidates,omitempty"`
+}
+
+// CategoryCount is one candidate-set entry (category = neighbour app).
+type CategoryCount struct {
+	Category string `json:"cat"`
+	N        int    `json:"n"`
+}
+
+// PopInfo records one free-pool resolution.
+type PopInfo struct {
+	Category string `json:"cat"`
+	Machine  int    `json:"m"`
+	Slot     int    `json:"s"`
+	// FreeGen is the popped slot's freed-order stamp in the pool's
+	// FIFO-over-VMs queue.
+	FreeGen int64 `json:"free_gen"`
+}
+
+// PlaceInfo records a task starting on a concrete VM.
+type PlaceInfo struct {
+	Task      int64   `json:"task"`
+	App       string  `json:"app"`
+	Machine   int     `json:"m"`
+	Slot      int     `json:"s"`
+	Neighbour string  `json:"nb,omitempty"`
+	Work      float64 `json:"work"`
+	Predicted float64 `json:"pred"`
+}
+
+// SegmentInfo records the start of one constant-rate execution segment.
+type SegmentInfo struct {
+	Machine   int     `json:"m"`
+	Slot      int     `json:"s"`
+	Task      int64   `json:"task"`
+	App       string  `json:"app"`
+	Rate      float64 `json:"rate"`
+	Neighbour string  `json:"nb,omitempty"`
+	WorkLeft  float64 `json:"left"`
+}
+
+// CompleteInfo records one finished task.
+type CompleteInfo struct {
+	Task      int64   `json:"task"`
+	App       string  `json:"app"`
+	Machine   int     `json:"m"`
+	Slot      int     `json:"s"`
+	Start     float64 `json:"start"`
+	Wait      float64 `json:"wait"`
+	Predicted float64 `json:"pred"`
+	Residual  float64 `json:"resid"`
+}
+
+// DoneInfo records the end of a run.
+type DoneInfo struct {
+	Scheduler string  `json:"scheduler"`
+	Completed int     `json:"completed"`
+	Submitted int     `json:"submitted"`
+	Horizon   float64 `json:"horizon_s"`
+}
+
+// Tracer is a bounded, deterministic recorder for one simulation run. It
+// implements sim.Tracer. The zero value is not usable; use NewTracer.
+type Tracer struct {
+	mu        sync.Mutex
+	label     string
+	scheduler string
+	machines  int
+	cap       int
+	buf       []TraceEvent
+	total     int64
+}
+
+// NewTracer builds a recorder with the given ring capacity (events);
+// capacity <= 0 takes DefaultTraceCap. The label should be input-derived
+// (see RunLabel); scheduler and machines annotate the export header.
+func NewTracer(label, scheduler string, machines, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{label: label, scheduler: scheduler, machines: machines, cap: capacity}
+}
+
+// Label returns the run label.
+func (t *Tracer) Label() string { return t.label }
+
+// record appends one event, overwriting the oldest once the ring is full.
+func (t *Tracer) record(ev TraceEvent) {
+	t.mu.Lock()
+	ev.Seq = t.total
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.total%int64(t.cap)] = ev
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of events emitted (dropped ones included).
+func (t *Tracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d := t.total - int64(len(t.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.buf))
+	if t.total > int64(t.cap) {
+		head := int(t.total % int64(t.cap))
+		out = append(out, t.buf[head:]...)
+		out = append(out, t.buf[:head]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// TraceArrival implements sim.Tracer.
+func (t *Tracer) TraceArrival(now float64, task sched.Task, held bool) {
+	t.record(TraceEvent{T: now, Kind: "arrival", Arrival: &ArrivalInfo{
+		Task: task.ID, App: task.App, Held: held, Deps: task.DependsOn,
+	}})
+}
+
+// TraceEnqueue implements sim.Tracer.
+func (t *Tracer) TraceEnqueue(now float64, task sched.Task, released bool) {
+	t.record(TraceEvent{T: now, Kind: "enqueue", Enqueue: &EnqueueInfo{
+		Task: task.ID, App: task.App, Released: released,
+	}})
+}
+
+// TraceFlush implements sim.Tracer.
+func (t *Tracer) TraceFlush(now float64) {
+	t.record(TraceEvent{T: now, Kind: "flush"})
+}
+
+// TraceDecision implements sim.Tracer.
+func (t *Tracer) TraceDecision(now float64, d sim.Decision) {
+	info := &DecisionInfo{Batch: d.Batch, Placed: d.Placed, Backlog: d.Backlog, FreeSlots: d.FreeSlots}
+	for _, c := range d.Candidates {
+		info.Candidates = append(info.Candidates, CategoryCount{Category: c.Category, N: c.N})
+	}
+	t.record(TraceEvent{T: now, Kind: "decision", Decision: info})
+}
+
+// TracePop implements sim.Tracer.
+func (t *Tracer) TracePop(now float64, p sim.PopInfo) {
+	t.record(TraceEvent{T: now, Kind: "pop", Pop: &PopInfo{
+		Category: p.Category, Machine: p.Machine, Slot: p.Slot, FreeGen: p.FreeGen,
+	}})
+}
+
+// TracePlace implements sim.Tracer.
+func (t *Tracer) TracePlace(now float64, p sim.PlaceInfo) {
+	t.record(TraceEvent{T: now, Kind: "place", Place: &PlaceInfo{
+		Task: p.Task.ID, App: p.Task.App, Machine: p.Machine, Slot: p.Slot,
+		Neighbour: p.Neighbour, Work: p.Work, Predicted: p.Predicted,
+	}})
+}
+
+// TraceSegment implements sim.Tracer.
+func (t *Tracer) TraceSegment(now float64, s sim.Segment) {
+	t.record(TraceEvent{T: now, Kind: "segment", Segment: &SegmentInfo{
+		Machine: s.Machine, Slot: s.Slot, Task: s.TaskID, App: s.App,
+		Rate: s.Rate, Neighbour: s.Neighbour, WorkLeft: s.WorkLeft,
+	}})
+}
+
+// TraceComplete implements sim.Tracer.
+func (t *Tracer) TraceComplete(now float64, c sim.Completion) {
+	r := c.Record
+	t.record(TraceEvent{T: now, Kind: "complete", Complete: &CompleteInfo{
+		Task: r.Task.ID, App: r.Task.App, Machine: r.Machine, Slot: r.Slot,
+		Start: r.Start, Wait: r.Wait(), Predicted: c.Predicted, Residual: c.Residual,
+	}})
+}
+
+// TraceDone implements sim.Tracer.
+func (t *Tracer) TraceDone(now float64, res *sim.Results) {
+	t.record(TraceEvent{T: now, Kind: "done", Done: &DoneInfo{
+		Scheduler: res.Scheduler, Completed: res.CompletedCount,
+		Submitted: res.Submitted, Horizon: res.Horizon,
+	}})
+}
+
+// traceHeader is the NDJSON run-header line.
+type traceHeader struct {
+	Kind      string `json:"k"` // always "run"
+	Schema    int    `json:"schema"`
+	Label     string `json:"label"`
+	Scheduler string `json:"scheduler"`
+	Machines  int    `json:"machines"`
+	Events    int64  `json:"events"`
+	Dropped   int64  `json:"dropped"`
+}
+
+// WriteNDJSON writes the run as one header line followed by one JSON
+// object per retained event.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	t.mu.Lock()
+	hdr := traceHeader{
+		Kind: "run", Schema: TraceSchema, Label: t.label,
+		Scheduler: t.scheduler, Machines: t.machines, Events: t.total,
+	}
+	t.mu.Unlock()
+	if hdr.Dropped = t.Dropped(); hdr.Dropped < 0 {
+		hdr.Dropped = 0
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// RunTrace is one run loaded back from an NDJSON export.
+type RunTrace struct {
+	Label     string
+	Scheduler string
+	Machines  int
+	// Total is the number of events the run emitted; Dropped of those were
+	// overwritten in the ring and are absent from Events.
+	Total   int64
+	Dropped int64
+	Events  []TraceEvent
+}
+
+// ReadTraces parses an NDJSON export (one or more runs).
+func ReadTraces(r io.Reader) ([]*RunTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var runs []*RunTrace
+	var cur *RunTrace
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind string `json:"k"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if probe.Kind == "run" {
+			var hdr traceHeader
+			if err := json.Unmarshal(raw, &hdr); err != nil {
+				return nil, fmt.Errorf("obs: trace header line %d: %w", line, err)
+			}
+			if hdr.Schema != TraceSchema {
+				return nil, fmt.Errorf("obs: trace line %d: unsupported schema %d", line, hdr.Schema)
+			}
+			cur = &RunTrace{
+				Label: hdr.Label, Scheduler: hdr.Scheduler, Machines: hdr.Machines,
+				Total: hdr.Events, Dropped: hdr.Dropped,
+			}
+			runs = append(runs, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("obs: trace line %d: event before run header", line)
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		cur.Events = append(cur.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// TraceCollector owns one Tracer per run label, for experiment suites that
+// execute many runs from parallel workers. Labels must be input-derived
+// (see RunLabel) and unique per run; a duplicate label gets its own tracer
+// under a disambiguated name and bumps Collisions, because interleaving
+// two engines' events in one ring would make the export depend on worker
+// scheduling.
+type TraceCollector struct {
+	mu         sync.Mutex
+	cap        int
+	runs       map[string]*Tracer
+	collisions int
+}
+
+// NewTraceCollector returns an empty collector whose tracers use the given
+// ring capacity (<= 0 takes DefaultTraceCap).
+func NewTraceCollector(capacity int) *TraceCollector {
+	return &TraceCollector{cap: capacity, runs: map[string]*Tracer{}}
+}
+
+// Tracer builds the recorder for one run.
+func (c *TraceCollector) Tracer(label, scheduler string, machines int) *Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.runs[label]; dup {
+		c.collisions++
+		label = fmt.Sprintf("%s!dup%d", label, c.collisions)
+	}
+	t := NewTracer(label, scheduler, machines, c.cap)
+	c.runs[label] = t
+	return t
+}
+
+// Len returns the number of runs traced.
+func (c *TraceCollector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs)
+}
+
+// Collisions returns how many duplicate labels were seen; a non-zero value
+// means labels were not input-unique and the export is not deterministic.
+func (c *TraceCollector) Collisions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.collisions
+}
+
+// WriteNDJSON writes every run, sorted by label.
+func (c *TraceCollector) WriteNDJSON(w io.Writer) error {
+	c.mu.Lock()
+	labels := make([]string, 0, len(c.runs))
+	for l := range c.runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	tracers := make([]*Tracer, len(labels))
+	for i, l := range labels {
+		tracers[i] = c.runs[l]
+	}
+	c.mu.Unlock()
+	for _, t := range tracers {
+		if err := t.WriteNDJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Export writes trace_<tag>.ndjson under dir, creating dir if needed.
+func (c *TraceCollector) Export(dir, tag string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace_%s.ndjson", tag))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := c.WriteNDJSON(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

@@ -190,6 +190,15 @@ func (p *FreePool) FreeSlots() int {
 // Pop resolves a placement category to a concrete free slot and marks it
 // busy. AnyCategory takes the lowest-indexed free slot overall.
 func (p *FreePool) Pop(category string) (machine, slot int, err error) {
+	machine, slot, _, err = p.PopTraced(category)
+	return machine, slot, err
+}
+
+// PopTraced is Pop plus the popped slot's freed-order stamp — the
+// busy→free generation the FIFO-over-VMs queue ordered the slot by. The
+// tracing layer records it so fairness can be re-derived offline from an
+// event stream alone.
+func (p *FreePool) PopTraced(category string) (machine, slot int, freeGen int64, err error) {
 	p.enter()
 	defer p.leave()
 	if category == AnyCategory {
@@ -202,24 +211,24 @@ func (p *FreePool) Pop(category string) (machine, slot int, err error) {
 			// FIFO-over-VMs queue.
 			if ok && st.free && st.freeGen == e.seq {
 				p.setBusy(e.machine, e.slot)
-				return e.machine, e.slot, nil
+				return e.machine, e.slot, st.freeGen, nil
 			}
 		}
-		return 0, 0, fmt.Errorf("sched: no free VM")
+		return 0, 0, 0, fmt.Errorf("sched: no free VM")
 	}
 	h, ok := p.heaps[category]
 	if !ok {
-		return 0, 0, fmt.Errorf("sched: no free VM with neighbour %q", category)
+		return 0, 0, 0, fmt.Errorf("sched: no free VM with neighbour %q", category)
 	}
 	for h.Len() > 0 {
 		e := heap.Pop(h).(slotEntry)
 		st, oks := p.state[slotKey(e.machine, e.slot)]
 		if oks && st.free && st.category == e.category {
 			p.setBusy(e.machine, e.slot)
-			return e.machine, e.slot, nil
+			return e.machine, e.slot, st.freeGen, nil
 		}
 	}
-	return 0, 0, fmt.Errorf("sched: no free VM with neighbour %q", category)
+	return 0, 0, 0, fmt.Errorf("sched: no free VM with neighbour %q", category)
 }
 
 // Category returns the current category of a free slot (ok=false if the

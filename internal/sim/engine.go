@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"tracon/internal/sched"
@@ -32,6 +33,10 @@ type Config struct {
 	// (see observe.go). nil costs nothing, and observers must not perturb
 	// the simulation's outputs.
 	Observer Observer
+	// Tracer, when non-nil, receives per-event lifecycle trace callbacks
+	// (see trace.go). Same contract as Observer: nil costs one branch per
+	// emission point, and tracers must not perturb the run.
+	Tracer Tracer
 }
 
 // vmsPerMachine is fixed at the paper's configuration ("each physical
@@ -246,11 +251,15 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 		e.now = math.Max(e.now, ev.time)
 		switch ev.kind {
 		case evArrival:
-			if !e.deps.ready(ev.task.ID) {
+			held := !e.deps.ready(ev.task.ID)
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.TraceArrival(e.now, ev.task, held)
+			}
+			if held {
 				e.deps.hold(ev.task)
 				continue
 			}
-			e.enqueue(ev.task)
+			e.enqueue(ev.task, false)
 		case evCompletion:
 			rt := e.machines[ev.machine].slots[ev.slot]
 			if rt == nil || rt.gen != ev.gen {
@@ -263,6 +272,9 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 			// Just a wake-up; scheduling below. The armed flush is spent;
 			// ensureFlush re-arms for the remaining head if needed.
 			e.nextFlushAt = math.Inf(1)
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.TraceFlush(e.now)
+			}
 		}
 		if err := e.trySchedule(); err != nil {
 			return nil, err
@@ -280,6 +292,9 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 		e.results.Horizon = horizon
 	}
 	e.flushEnergy(e.results.Horizon)
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.TraceDone(e.results.Horizon, &e.results)
+	}
 	if e.cfg.Observer != nil {
 		if oerr := e.cfg.Observer.OnDone(View{e}, &e.results); oerr != nil {
 			return nil, fmt.Errorf("sim: observer: %w", oerr)
@@ -300,10 +315,14 @@ func observedKind(k eventKind) EventKind {
 	}
 }
 
-// enqueue adds a schedulable task to the backlog. Flush wake-ups (so a
+// enqueue adds a schedulable task to the backlog (released marks tasks a
+// workflow-dependency completion just unblocked). Flush wake-ups (so a
 // partial batch cannot starve waiting for a batch scheduler's queue to
 // fill) are armed by ensureFlush after the scheduling pass.
-func (e *Engine) enqueue(t sched.Task) {
+func (e *Engine) enqueue(t sched.Task, released bool) {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.TraceEnqueue(e.now, t, released)
+	}
 	e.queue = append(e.queue, t)
 	// Compact the backlog when the dead prefix dominates.
 	if e.qhead > 4096 && e.qhead*2 > len(e.queue) {
@@ -378,6 +397,12 @@ func (e *Engine) reprice(m int) {
 		if rt.rate <= 0 {
 			rt.rate = 1e-9
 		}
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.TraceSegment(e.now, Segment{
+				Machine: m, Slot: s, TaskID: rt.task.ID, App: rt.task.App,
+				Rate: rt.rate, Neighbour: neighbour, WorkLeft: rt.workLeft,
+			})
+		}
 		// Generations are engine-global: a per-task counter would collide
 		// with stale events left behind by a previous occupant of the slot.
 		e.genSeq++
@@ -403,16 +428,21 @@ func (e *Engine) complete(m, slot int) error {
 	}
 	ms.slots[slot] = nil
 	rec := TaskRecord{Task: rt.task, Start: rt.start, Finish: e.now, Machine: m, Slot: slot}
-	if e.cfg.Observer != nil {
+	if e.cfg.Observer != nil || e.cfg.Tracer != nil {
 		c := Completion{Record: rec, Predicted: rt.predicted, Residual: rt.rawLeft}
-		if oerr := e.cfg.Observer.OnComplete(View{e}, c); oerr != nil {
-			return fmt.Errorf("sim: observer: %w", oerr)
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.TraceComplete(e.now, c)
+		}
+		if e.cfg.Observer != nil {
+			if oerr := e.cfg.Observer.OnComplete(View{e}, c); oerr != nil {
+				return fmt.Errorf("sim: observer: %w", oerr)
+			}
 		}
 	}
 	// Release any workflow tasks this completion unblocks.
 	for _, released := range e.deps.complete(rt.task.ID) {
 		released.Arrival = e.now // became schedulable now; Wait() measures queueing
-		e.enqueue(released)
+		e.enqueue(released, true)
 	}
 	if e.now > e.results.LastFinish {
 		e.results.LastFinish = e.now
@@ -461,11 +491,23 @@ func (e *Engine) place(t sched.Task, m, slot int) error {
 	if _, free := e.pool.Category(m, 1-slot); free {
 		e.pool.SetFree(m, 1-slot, t.App)
 	}
+	// The placement-time neighbour, captured before reprice (which only
+	// recomputes rates) for the placement trace.
+	neighbour := ""
+	if other := ms.slots[1-slot]; other != nil {
+		neighbour = other.task.App
+	}
 	e.reprice(m)
 	// Freeze the placement-time runtime forecast for observers (reprice
 	// just set the rate under the placement's neighbour).
 	rt := ms.slots[slot]
 	rt.predicted = rt.workLeft / rt.rate
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.TracePlace(e.now, PlaceInfo{
+			Task: t, Machine: m, Slot: slot, Neighbour: neighbour,
+			Work: rt.workLeft, Predicted: rt.predicted,
+		})
+	}
 	e.settleEnergy(m) // re-sample power under the new membership
 	return nil
 }
@@ -485,11 +527,25 @@ func (e *Engine) trySchedule() error {
 		}
 		batch := append([]sched.Task(nil), e.queue[e.qhead:e.qhead+batchLen]...)
 		load := sched.Load{TotalSlots: e.cfg.Machines * vmsPerMachine, Queued: n}
+		counts := e.pool.Counts()
+		var candidates []CategoryCount
+		if e.cfg.Tracer != nil {
+			// Snapshot the candidate set before Schedule mutates its copy.
+			cats := make([]string, 0, len(counts))
+			for c := range counts {
+				cats = append(cats, c)
+			}
+			sort.Strings(cats)
+			candidates = make([]CategoryCount, len(cats))
+			for i, c := range cats {
+				candidates[i] = CategoryCount{Category: c, N: counts[c]}
+			}
+		}
 		var t0 time.Time
 		if e.cfg.Observer != nil {
 			t0 = time.Now()
 		}
-		placements, err := e.cfg.Scheduler.Schedule(batch, e.pool.Counts(), load)
+		placements, err := e.cfg.Scheduler.Schedule(batch, counts, load)
 		if err != nil {
 			return err
 		}
@@ -498,6 +554,12 @@ func (e *Engine) trySchedule() error {
 			if oerr := e.cfg.Observer.OnSchedule(View{e}, info); oerr != nil {
 				return fmt.Errorf("sim: observer: %w", oerr)
 			}
+		}
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.TraceDecision(e.now, Decision{
+				Batch: len(batch), Placed: len(placements), Backlog: n,
+				FreeSlots: e.pool.FreeSlots(), Candidates: candidates,
+			})
 		}
 		if len(placements) == 0 {
 			return nil
@@ -510,16 +572,19 @@ func (e *Engine) trySchedule() error {
 				// consumes it, so the auditor can hold Pop to it.
 				pop.OldestMachine, pop.OldestSlot, pop.OldestOK = e.pool.OldestFree()
 			}
-			m, slot, err := e.pool.Pop(p.Category)
+			m, slot, freeGen, err := e.pool.PopTraced(p.Category)
 			if err != nil {
 				return fmt.Errorf("sim: scheduler %s emitted unexecutable placement %+v: %w",
 					e.cfg.Scheduler.Name(), p, err)
 			}
+			pop.Category, pop.Machine, pop.Slot, pop.FreeGen = p.Category, m, slot, freeGen
 			if e.cfg.Observer != nil {
-				pop.Category, pop.Machine, pop.Slot = p.Category, m, slot
 				if oerr := e.cfg.Observer.OnPop(View{e}, pop); oerr != nil {
 					return fmt.Errorf("sim: observer: %w", oerr)
 				}
+			}
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.TracePop(e.now, pop)
 			}
 			if err := e.place(p.Task, m, slot); err != nil {
 				return err

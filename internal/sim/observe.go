@@ -44,6 +44,9 @@ type PopInfo struct {
 	Category string
 	// Machine/Slot is the slot the pool returned.
 	Machine, Slot int
+	// FreeGen is the popped slot's freed-order stamp (the busy→free
+	// generation that positions it in the pool's FIFO-over-VMs queue).
+	FreeGen int64
 	// OldestMachine/OldestSlot is the pool's longest-free slot computed
 	// immediately before the pop; valid only when OldestOK and only for
 	// AnyCategory pops (it is what FIFO-over-VMs fairness demands the pop
@@ -154,3 +157,7 @@ func (v View) PoolStats() sched.PoolStats { return v.e.pool.Stats() }
 
 // CompletedCount returns the number of tasks completed so far.
 func (v View) CompletedCount() int { return v.e.results.CompletedCount }
+
+// HeldTasks returns the number of arrived tasks parked on unmet workflow
+// dependencies.
+func (v View) HeldTasks() int { return v.e.deps.heldCount() }

@@ -1,0 +1,107 @@
+package sim
+
+import "tracon/internal/sched"
+
+// This file is the engine's tracing surface, the per-event sibling of the
+// aggregate Observer hooks in observe.go. A Tracer receives one callback
+// per lifecycle transition of every task (arrival → queue → placement →
+// interference-dilated execution segments → completion) and per scheduler
+// decision, synchronously on the engine goroutine in event order. A nil
+// Config.Tracer costs one branch per emission point; a non-nil tracer must
+// not perturb the simulation — every payload is data the engine computes
+// anyway, and the golden no-perturbation tests enforce it. Unlike
+// observers, tracer callbacks cannot fail: tracing is a recorder, not a
+// validator, so it has no error channel that could abort a run.
+//
+// All payload values are pure functions of the simulated run, so a
+// deterministic Tracer implementation (see internal/obs) produces
+// byte-identical exports for the same seed at every worker count.
+
+// Tracer records structured simulation events. Implementations must treat
+// every payload as read-only and must not call back into the engine.
+type Tracer interface {
+	// TraceArrival fires when an arrival event is processed. held reports
+	// that the task has unmet workflow dependencies and was parked instead
+	// of queued; a TraceEnqueue with released=true follows once the last
+	// dependency completes.
+	TraceArrival(now float64, t sched.Task, held bool)
+	// TraceEnqueue fires when a task enters the scheduling backlog.
+	// released marks tasks a workflow-dependency completion just unblocked.
+	TraceEnqueue(now float64, t sched.Task, released bool)
+	// TraceFlush fires when a flush wake-up forces a scheduling pass on a
+	// partial batch.
+	TraceFlush(now float64)
+	// TraceDecision fires after every scheduling-policy invocation.
+	TraceDecision(now float64, d Decision)
+	// TracePop fires after each free-pool resolution.
+	TracePop(now float64, p PopInfo)
+	// TracePlace fires when a task starts on a concrete VM.
+	TracePlace(now float64, p PlaceInfo)
+	// TraceSegment fires when a running task's progress rate is repriced
+	// (machine membership changed): the start of one execution segment.
+	// The segment ends at the slot's next TraceSegment or TraceComplete.
+	TraceSegment(now float64, s Segment)
+	// TraceComplete fires for every completed task.
+	TraceComplete(now float64, c Completion)
+	// TraceDone fires once when the run ends, after final energy settlement.
+	TraceDone(now float64, res *Results)
+}
+
+// Decision describes one scheduling-policy invocation for tracing: the
+// batch offered, what the policy placed, and the candidate set it saw.
+type Decision struct {
+	// Batch is the number of tasks offered to the policy.
+	Batch int
+	// Placed is the number of placements the policy emitted.
+	Placed int
+	// Backlog is the queue length at decision time (batch included).
+	Backlog int
+	// FreeSlots is the free-VM count at decision time.
+	FreeSlots int
+	// Candidates is the free pool's per-category slot counts — the
+	// candidate set the policy chose from — sorted by category for
+	// deterministic export.
+	Candidates []CategoryCount
+}
+
+// CategoryCount is one candidate-set entry: free slots per neighbour app.
+type CategoryCount struct {
+	Category string
+	N        int
+}
+
+// PlaceInfo describes one placement for tracing.
+type PlaceInfo struct {
+	// Task is the placed task.
+	Task sched.Task
+	// Machine and Slot name the VM the task starts on.
+	Machine, Slot int
+	// Neighbour is the application on the machine's other slot at
+	// placement time (empty when the machine was idle).
+	Neighbour string
+	// Work is the task's solo execution time in seconds — the work the
+	// task must progress through at its interference-dilated rate.
+	Work float64
+	// Predicted is the runtime forecast frozen at placement: Work over the
+	// progress rate under Neighbour. Comparing it with the realized
+	// runtime isolates mid-flight neighbour churn.
+	Predicted float64
+}
+
+// Segment describes the start of one execution segment: a maximal interval
+// over which a running task progresses at a constant interference-dilated
+// rate. A new segment starts whenever machine membership changes.
+type Segment struct {
+	// Machine and Slot locate the running task.
+	Machine, Slot int
+	// TaskID and App identify it.
+	TaskID int64
+	App    string
+	// Rate is the progress rate for this segment (1 = solo speed; lower
+	// means the neighbour dilutes it).
+	Rate float64
+	// Neighbour is the co-resident application ("" when running alone).
+	Neighbour string
+	// WorkLeft is the remaining solo-seconds of work at segment start.
+	WorkLeft float64
+}
