@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race audit trace bench bench-json clean
+.PHONY: ci vet build test race audit trace serve-smoke bench bench-json bench-serve clean
 
-ci: vet build test race audit trace
+ci: vet build test race audit trace serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,11 @@ trace:
 	$(GO) test ./internal/experiments -run TestTraceExportDeterministicAcrossWorkers -short -count=1
 	$(GO) test ./internal/obs -run 'TestTrace|TestTracer|TestPerfetto' -count=1
 
+# Serving-mode smoke test: boot tracond on a random port, drive it with a
+# traconload burst, assert non-zero completions and a clean SIGTERM drain.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 # Regenerate the paper exhibits through the benchmark harness.
 bench:
 	$(GO) test -bench=. -benchmem -count=1 .
@@ -45,6 +50,12 @@ bench:
 bench-json:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkNewEnv|BenchmarkFig9$$|BenchmarkSchedulerOverhead' \
 		-benchmem -benchtime 1x -count=1 . > BENCH_pr3.json
+
+# Serving-path benchmark snapshot: prediction-cache hit vs uncached
+# scoring, plus a fixed-seed traconload run; BENCH_pr4.json is this
+# target's output at the PR-4 baseline.
+bench-serve:
+	bash scripts/bench_serve.sh BENCH_pr4.json
 
 clean:
 	$(GO) clean ./...

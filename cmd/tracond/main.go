@@ -1,0 +1,315 @@
+// Command tracond is the TRACON placement daemon: it trains (or loads) an
+// interference model library, owns a two-VM-per-machine inventory, and
+// serves placement decisions over a JSON HTTP API (see internal/serve for
+// the route table). SIGINT/SIGTERM drain gracefully: the listener stops
+// accepting, in-flight requests finish, and background retrains complete
+// before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/pprof"
+	"strings"
+	"syscall"
+	"time"
+
+	"tracon/internal/model"
+	"tracon/internal/sched"
+	"tracon/internal/serve"
+	"tracon/internal/workload"
+	"tracon/internal/xen"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+		portFile    = flag.String("portfile", "", "write the actual listen address to this file once serving")
+		machines    = flag.Int("machines", 8, "machine inventory size (two VMs each)")
+		kindName    = flag.String("model", "NLM", "model family: WMM, LM, NLM, NLMNoDom0, Forest")
+		policy      = flag.String("policy", "mios", "scheduling policy: fifo, mios, mibs, mix")
+		queueLen    = flag.Int("queue-len", 4, "batch size for the batch policies (mibs, mix)")
+		objName     = flag.String("objective", "runtime", "optimization objective: runtime or iops")
+		seed        = flag.Int64("seed", 1, "testbed seed for training")
+		modelsIn    = flag.String("models", "", "load a trained library from this JSON file instead of training")
+		modelsOut   = flag.String("save-models", "", "save the trained library to this JSON file (LM/NLM families)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrent submissions (0 = default)")
+		maxQueue    = flag.Int("max-queue", 0, "max queued tasks before 429 (0 = default, negative = unbounded)")
+		syncRetrain = flag.Bool("sync-retrain", false, "run drift-triggered retrains on the request path (deterministic)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	flag.Parse()
+
+	if err := run(daemonConfig{
+		addr: *addr, portFile: *portFile, machines: *machines,
+		kindName: *kindName, policy: *policy, queueLen: *queueLen,
+		objName: *objName, seed: *seed, modelsIn: *modelsIn,
+		modelsOut: *modelsOut, maxInflight: *maxInflight, maxQueue: *maxQueue,
+		syncRetrain: *syncRetrain, cpuProf: *cpuProf, memProf: *memProf,
+	}); err != nil {
+		log.Fatalf("tracond: %v", err)
+	}
+}
+
+type daemonConfig struct {
+	addr, portFile        string
+	machines              int
+	kindName, policy      string
+	queueLen              int
+	objName               string
+	seed                  int64
+	modelsIn, modelsOut   string
+	maxInflight, maxQueue int
+	syncRetrain           bool
+	cpuProf, memProf      string
+}
+
+func run(cfg daemonConfig) error {
+	if cfg.cpuProf != "" {
+		f, err := os.Create(cfg.cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	kind, err := parseKind(cfg.kindName)
+	if err != nil {
+		return err
+	}
+	obj, err := parseObjective(cfg.objName)
+	if err != nil {
+		return err
+	}
+
+	// Bring up the model library: load a saved one, or profile and train on
+	// the simulated testbed. Training also retains the per-app training
+	// sets so drift-triggered retrains can fold production observations
+	// into the original profile and refit.
+	var (
+		lib   *model.Library
+		brain *trainer
+	)
+	if cfg.modelsIn != "" {
+		f, err := os.Open(cfg.modelsIn)
+		if err != nil {
+			return err
+		}
+		lib, err = model.LoadLibrary(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if lib.Kind != kind {
+			log.Printf("serving %v library from %s (overrides -model %v)", lib.Kind, cfg.modelsIn, kind)
+		}
+		brain = &trainer{lib: lib}
+		log.Printf("loaded %v library (%d apps) from %s", lib.Kind, len(lib.Apps()), cfg.modelsIn)
+	} else {
+		t0 := time.Now()
+		brain, err = trainLibrary(kind, cfg.seed)
+		if err != nil {
+			return err
+		}
+		lib = brain.lib
+		log.Printf("trained %v library (%d apps) in %v", kind, len(lib.Apps()), time.Since(t0).Round(time.Millisecond))
+	}
+	if cfg.modelsOut != "" {
+		f, err := os.Create(cfg.modelsOut)
+		if err != nil {
+			return err
+		}
+		err = lib.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("saving library: %w", err)
+		}
+		log.Printf("saved library to %s", cfg.modelsOut)
+	}
+
+	srv, err := serve.New(lib, serve.Config{
+		Machines:    cfg.machines,
+		Policy:      cfg.policy,
+		QueueLen:    cfg.queueLen,
+		Objective:   obj,
+		MaxInflight: cfg.maxInflight,
+		MaxQueue:    cfg.maxQueue,
+		Retrain:     brain.retrain,
+		SyncRetrain: cfg.syncRetrain,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.portFile != "" {
+		if err := os.WriteFile(cfg.portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	log.Printf("serving %d machines (%s policy) on http://%s", cfg.machines, cfg.policy, ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	srv.Drain()
+	log.Printf("drained cleanly (%d swaps, %d drift fires)", srv.ModelSet().Swaps(), srv.Swapper().DriftFires())
+
+	if cfg.memProf != "" {
+		f, err := os.Create(cfg.memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trainer holds what a retrain needs: the served library plus, when the
+// daemon trained locally, the original training sets and solo profiles.
+type trainer struct {
+	lib   *model.Library
+	sets  map[string]*model.TrainingSet // nil when the library was loaded
+	solos map[string]xen.SoloProfile
+}
+
+// trainLibrary runs the full bring-up pipeline: profile each Table 3
+// benchmark against the 125-point synthetic grid and fit the family.
+func trainLibrary(kind model.Kind, seed int64) (*trainer, error) {
+	host, err := xen.NewHost(xen.DefaultHost())
+	if err != nil {
+		return nil, err
+	}
+	tb := xen.NewTestbed(host, 3, 0.05, seed)
+	var bgs []xen.AppSpec
+	for _, w := range workload.ProfilingWorkloads(host.Config().Disk) {
+		bgs = append(bgs, w.Spec)
+	}
+	prof := &model.Profiler{TB: tb}
+	tr := &trainer{
+		lib:   model.NewLibrary(kind),
+		sets:  map[string]*model.TrainingSet{},
+		solos: map[string]xen.SoloProfile{},
+	}
+	for _, b := range workload.Benchmarks() {
+		ts, err := prof.Profile(b.Spec, bgs)
+		if err != nil {
+			return nil, err
+		}
+		solo, err := tb.ProfileSolo(b.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.lib.Add(ts, solo); err != nil {
+			return nil, err
+		}
+		tr.sets[b.Spec.Name] = ts
+		tr.solos[b.Spec.Name] = solo
+	}
+	return tr, nil
+}
+
+// retrain is the serve.Retrainer: fold the recent production observations
+// into each application's profile and refit. Apps without a stored
+// training set (loaded libraries) refit from recent samples alone when
+// there are enough, and keep their current model otherwise.
+func (tr *trainer) retrain(recent map[string][]model.Sample) (*model.Library, error) {
+	cur := tr.lib
+	next := model.NewLibrary(cur.Kind)
+	for _, app := range cur.Apps() {
+		feats, err := cur.Features(app)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := cur.SoloRuntime(app)
+		if err != nil {
+			return nil, err
+		}
+		io, err := cur.SoloIOPS(app)
+		if err != nil {
+			return nil, err
+		}
+		solo := xen.SoloProfile{Runtime: rt, IOPS: io}
+		if s, ok := tr.solos[app]; ok {
+			solo = s
+		}
+
+		ts := &model.TrainingSet{App: app, Features: feats}
+		if base, ok := tr.sets[app]; ok {
+			ts.Samples = append(ts.Samples, base.Samples...)
+		}
+		ts.Samples = append(ts.Samples, recent[app]...)
+
+		m, err := model.Train(ts, cur.Kind)
+		if errors.Is(err, model.ErrTooFewSamples) {
+			// Not enough evidence to refit this app: carry its current
+			// model forward unchanged.
+			m, err = cur.Model(app)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("retraining %s: %w", app, err)
+		}
+		if err := next.AddTrained(m, feats, solo); err != nil {
+			return nil, err
+		}
+	}
+	tr.lib = next
+	return next, nil
+}
+
+func parseKind(s string) (model.Kind, error) {
+	for _, k := range []model.Kind{model.WMM, model.LM, model.NLM, model.NLMNoDom0, model.Forest} {
+		if strings.EqualFold(k.String(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown model family %q (want WMM, LM, NLM, NLMNoDom0 or Forest)", s)
+}
+
+func parseObjective(s string) (sched.Objective, error) {
+	switch strings.ToLower(s) {
+	case "", "runtime":
+		return sched.MinRuntime, nil
+	case "iops":
+		return sched.MaxIOPS, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q (want runtime or iops)", s)
+	}
+}

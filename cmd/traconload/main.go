@@ -1,0 +1,359 @@
+// Command traconload drives a running tracond with a synthetic task
+// stream and reports client-side throughput and latency percentiles.
+//
+// Two modes:
+//
+//   - closed loop (default): -concurrency workers each keep exactly one
+//     task in flight — submit, wait for placement, complete, repeat.
+//   - open loop (-rate N): task arrivals follow a Poisson process at N
+//     tasks/minute regardless of how fast the daemon answers, the
+//     arrival model of the paper's Sec. 4 workload mixes.
+//
+// Completions report an observed runtime derived from the daemon's own
+// forecast times multiplicative noise; -drift inflates observed runtimes
+// for the second half of the run to exercise the drift-triggered model
+// hot-swap path end to end.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tracon/internal/obs"
+	"tracon/internal/serve"
+	"tracon/internal/workload"
+)
+
+func main() {
+	var (
+		target      = flag.String("addr", "127.0.0.1:8080", "tracond address (host:port)")
+		tasks       = flag.Int("tasks", 200, "total tasks to submit")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers (ignored with -rate)")
+		rate        = flag.Float64("rate", 0, "open-loop Poisson arrival rate in tasks/minute (0 = closed loop)")
+		seed        = flag.Int64("seed", 1, "randomness seed (app choice, noise, arrivals)")
+		apps        = flag.String("apps", "", "comma-separated application mix (default: every app the daemon serves)")
+		noise       = flag.Float64("noise", 0.05, "multiplicative noise sigma on observed runtimes")
+		drift       = flag.Float64("drift", 0, "inflate observed runtimes by this factor after half the run (0 = off)")
+		pollEvery   = flag.Duration("poll", 2*time.Millisecond, "queued-placement poll interval")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "overall run timeout")
+		jsonOut     = flag.Bool("json", false, "emit the summary as JSON")
+	)
+	flag.Parse()
+
+	sum, err := run(loadConfig{
+		base: "http://" + *target, tasks: *tasks, concurrency: *concurrency,
+		rate: *rate, seed: *seed, apps: *apps, noise: *noise, drift: *drift,
+		pollEvery: *pollEvery, timeout: *timeout,
+	})
+	if err != nil {
+		log.Fatalf("traconload: %v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sum)
+	} else {
+		fmt.Print(sum.text())
+	}
+	if sum.Completed == 0 {
+		log.Fatalf("traconload: zero tasks completed")
+	}
+}
+
+type loadConfig struct {
+	base        string
+	tasks       int
+	concurrency int
+	rate        float64
+	seed        int64
+	apps        string
+	noise       float64
+	drift       float64
+	pollEvery   time.Duration
+	timeout     time.Duration
+}
+
+// summary is the run report (the -json shape).
+type summary struct {
+	Mode          string             `json:"mode"`
+	Tasks         int                `json:"tasks"`
+	Submitted     int64              `json:"submitted"`
+	Completed     int64              `json:"completed"`
+	Queued        int64              `json:"queued"`
+	Rejected      int64              `json:"rejected"`
+	Failed        int64              `json:"failed"`
+	WallSeconds   float64            `json:"wall_seconds"`
+	ThroughputPS  float64            `json:"throughput_per_s"`
+	SubmitLatency obs.LatencySummary `json:"submit_latency_s"`
+	E2ELatency    obs.LatencySummary `json:"e2e_latency_s"`
+	FinalGen      uint64             `json:"final_generation"`
+}
+
+func (s summary) text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode        %s\n", s.Mode)
+	fmt.Fprintf(&b, "submitted   %d (queued %d, rejected %d, failed %d)\n", s.Submitted, s.Queued, s.Rejected, s.Failed)
+	fmt.Fprintf(&b, "completed   %d in %.2fs → %.1f tasks/s\n", s.Completed, s.WallSeconds, s.ThroughputPS)
+	fmt.Fprintf(&b, "submit lat  p50 %.1fµs  p95 %.1fµs  p99 %.1fµs\n",
+		s.SubmitLatency.P50*1e6, s.SubmitLatency.P95*1e6, s.SubmitLatency.P99*1e6)
+	fmt.Fprintf(&b, "e2e lat     p50 %.1fµs  p95 %.1fµs  p99 %.1fµs\n",
+		s.E2ELatency.P50*1e6, s.E2ELatency.P95*1e6, s.E2ELatency.P99*1e6)
+	fmt.Fprintf(&b, "model gen   %d\n", s.FinalGen)
+	return b.String()
+}
+
+// loader is the shared state of one run.
+type loader struct {
+	cfg    loadConfig
+	client *http.Client
+	apps   []string
+
+	submitLat *obs.Histogram
+	e2eLat    *obs.Histogram
+
+	submitted, completed, queued, rejected, failed atomic.Int64
+	issued                                         atomic.Int64 // tasks handed to workers, for the drift midpoint
+	deadline                                       time.Time
+}
+
+func run(cfg loadConfig) (summary, error) {
+	l := &loader{
+		cfg:       cfg,
+		client:    &http.Client{Timeout: 10 * time.Second},
+		submitLat: obs.NewHistogram(obs.DefaultLatencyBuckets()),
+		e2eLat:    obs.NewHistogram(obs.DefaultLatencyBuckets()),
+		deadline:  time.Now().Add(cfg.timeout),
+	}
+	if err := l.resolveApps(); err != nil {
+		return summary{}, err
+	}
+
+	start := time.Now()
+	if cfg.rate > 0 {
+		l.openLoop()
+	} else {
+		l.closedLoop()
+	}
+	wall := time.Since(start).Seconds()
+
+	sum := summary{
+		Mode:          "closed",
+		Tasks:         cfg.tasks,
+		Submitted:     l.submitted.Load(),
+		Completed:     l.completed.Load(),
+		Queued:        l.queued.Load(),
+		Rejected:      l.rejected.Load(),
+		Failed:        l.failed.Load(),
+		WallSeconds:   wall,
+		ThroughputPS:  float64(l.completed.Load()) / wall,
+		SubmitLatency: l.submitLat.Latency(),
+		E2ELatency:    l.e2eLat.Latency(),
+	}
+	if cfg.rate > 0 {
+		sum.Mode = fmt.Sprintf("open (%.0f/min)", cfg.rate)
+	}
+	sum.FinalGen = l.finalGeneration()
+	return sum, nil
+}
+
+// resolveApps takes the -apps mix, or asks the daemon what it serves.
+func (l *loader) resolveApps() error {
+	if l.cfg.apps != "" {
+		l.apps = strings.Split(l.cfg.apps, ",")
+		return nil
+	}
+	resp, err := l.client.Get(l.cfg.base + "/v1/models")
+	if err != nil {
+		return fmt.Errorf("querying daemon census: %w", err)
+	}
+	defer resp.Body.Close()
+	var mr struct {
+		Apps []string `json:"apps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return err
+	}
+	if len(mr.Apps) == 0 {
+		return fmt.Errorf("daemon serves no applications")
+	}
+	l.apps = mr.Apps
+	return nil
+}
+
+func (l *loader) finalGeneration() uint64 {
+	resp, err := l.client.Get(l.cfg.base + "/v1/models")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var mr struct {
+		Generation uint64 `json:"generation"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&mr)
+	return mr.Generation
+}
+
+// closedLoop keeps cfg.concurrency tasks in flight until cfg.tasks have
+// been issued.
+func (l *loader) closedLoop() {
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	for w := 0; w < l.cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(l.cfg.seed + int64(w)*7919))
+			for {
+				n := next.Add(1)
+				if int(n) > l.cfg.tasks || time.Now().After(l.deadline) {
+					return
+				}
+				l.runTask(rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// openLoop fires tasks at their precomputed Poisson arrival offsets,
+// regardless of daemon responsiveness.
+func (l *loader) openLoop() {
+	rng := rand.New(rand.NewSource(l.cfg.seed))
+	// Draw enough arrivals to cover cfg.tasks at the configured rate.
+	horizon := float64(l.cfg.tasks) / l.cfg.rate * 60 * 2
+	arrivals := workload.Arrivals(rng, l.cfg.rate, horizon)
+	for len(arrivals) < l.cfg.tasks {
+		horizon *= 2
+		arrivals = workload.Arrivals(rng, l.cfg.rate, horizon)
+	}
+	arrivals = arrivals[:l.cfg.tasks]
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, at := range arrivals {
+		if d := time.Duration(at * float64(time.Second)); d > time.Until(l.deadline) {
+			break
+		} else if sleep := start.Add(d).Sub(time.Now()); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(l.cfg.seed + int64(i)*104729))
+			l.runTask(rng)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runTask submits one task, waits for it to be placed, and completes it
+// with a synthetic observation.
+func (l *loader) runTask(rng *rand.Rand) {
+	app := l.apps[rng.Intn(len(l.apps))]
+	t0 := time.Now()
+	rec, status, err := l.submit(app)
+	l.submitLat.Observe(time.Since(t0).Seconds())
+	switch {
+	case err != nil:
+		l.failed.Add(1)
+		return
+	case status == http.StatusTooManyRequests:
+		l.rejected.Add(1)
+		return
+	case status != http.StatusOK:
+		l.failed.Add(1)
+		return
+	}
+	l.submitted.Add(1)
+	if rec.Status == serve.StatusQueued {
+		l.queued.Add(1)
+		if rec = l.awaitPlacement(rec.ID); rec == nil {
+			l.failed.Add(1)
+			return
+		}
+	}
+
+	// Synthesize the observed outcome: the daemon's own forecast times
+	// noise, inflated by the drift factor for the back half of the run.
+	factor := 1 + rng.NormFloat64()*l.cfg.noise
+	if factor < 0.1 {
+		factor = 0.1
+	}
+	if l.cfg.drift > 0 && l.issued.Add(1) > int64(l.cfg.tasks/2) {
+		factor *= 1 + l.cfg.drift
+	}
+	obsBody := serve.Observation{
+		Runtime: rec.PredictedRuntime * factor,
+		IOPS:    rec.PredictedIOPS / factor,
+	}
+	if code, err := l.complete(rec.ID, obsBody); err != nil || code != http.StatusOK {
+		l.failed.Add(1)
+		return
+	}
+	l.completed.Add(1)
+	l.e2eLat.Observe(time.Since(t0).Seconds())
+}
+
+func (l *loader) submit(app string) (*serve.Placement, int, error) {
+	body, _ := json.Marshal(map[string]string{"app": app})
+	resp, err := l.client.Post(l.cfg.base+"/v1/tasks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, nil
+	}
+	var rec serve.Placement
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return &rec, resp.StatusCode, nil
+}
+
+// awaitPlacement polls a queued task until it lands on a slot (or fails).
+func (l *loader) awaitPlacement(id string) *serve.Placement {
+	for time.Now().Before(l.deadline) {
+		resp, err := l.client.Get(l.cfg.base + "/v1/placements/" + id)
+		if err != nil {
+			return nil
+		}
+		var rec serve.Placement
+		err = json.NewDecoder(resp.Body).Decode(&rec)
+		resp.Body.Close()
+		if err != nil {
+			return nil
+		}
+		switch rec.Status {
+		case serve.StatusPlaced:
+			return &rec
+		case serve.StatusFailed, serve.StatusCompleted:
+			return nil
+		}
+		time.Sleep(l.cfg.pollEvery)
+	}
+	return nil
+}
+
+func (l *loader) complete(id string, o serve.Observation) (int, error) {
+	body, _ := json.Marshal(o)
+	resp, err := l.client.Post(l.cfg.base+"/v1/placements/"+id+"/complete", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -1,12 +1,24 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"tracon/internal/xen"
 )
+
+// ErrUnknownApp is wrapped by every library and oracle lookup that names
+// an application the predictor was never trained on. Callers serving
+// untrusted input (the tracond daemon) branch on it with errors.Is to
+// distinguish a bad request from an internal failure.
+var ErrUnknownApp = errors.New("model: unknown application")
+
+// ErrEmptyLibrary is wrapped by scoring-path lookups against a library
+// with no trained models at all — a configuration error rather than a
+// bad application name.
+var ErrEmptyLibrary = errors.New("model: empty library")
 
 // Predictor is what the interference-aware schedulers consume: given a
 // target application and the application currently occupying the other VM
@@ -72,12 +84,37 @@ func (l *Library) Add(ts *TrainingSet, solo xen.SoloProfile) error {
 	return nil
 }
 
+// AddTrained registers an externally trained model (typically loaded via
+// LoadLibrary) together with the solo characteristics the library needs to
+// describe the application as a co-runner. The model family must match.
+func (l *Library) AddTrained(m *AppModel, features []float64, solo xen.SoloProfile) error {
+	if m == nil {
+		return fmt.Errorf("model: nil model")
+	}
+	if m.App == "" {
+		return fmt.Errorf("model: model has no application name")
+	}
+	if m.Kind != l.Kind {
+		return fmt.Errorf("model: %v model %q added to %v library", m.Kind, m.App, l.Kind)
+	}
+	if len(features) != NumFeatures {
+		return fmt.Errorf("model: %q has %d features, want %d", m.App, len(features), NumFeatures)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.models[m.App] = m
+	l.features[m.App] = append([]float64(nil), features...)
+	l.soloRT[m.App] = solo.Runtime
+	l.soloIO[m.App] = solo.IOPS
+	return nil
+}
+
 // Replace swaps in an externally trained model (used by the adaptive path).
 func (l *Library) Replace(app string, m *AppModel) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.models[app]; !ok {
-		return fmt.Errorf("model: unknown app %q", app)
+		return l.lookupErrLocked(app)
 	}
 	l.models[app] = m
 	return nil
@@ -89,7 +126,7 @@ func (l *Library) Features(app string) ([]float64, error) {
 	defer l.mu.RUnlock()
 	f, ok := l.features[app]
 	if !ok {
-		return nil, fmt.Errorf("model: unknown app %q", app)
+		return nil, l.lookupErrLocked(app)
 	}
 	return f, nil
 }
@@ -100,9 +137,19 @@ func (l *Library) Model(app string) (*AppModel, error) {
 	defer l.mu.RUnlock()
 	m, ok := l.models[app]
 	if !ok {
-		return nil, fmt.Errorf("model: unknown app %q", app)
+		return nil, l.lookupErrLocked(app)
 	}
 	return m, nil
+}
+
+// lookupErrLocked builds the typed error for a failed lookup: an empty
+// library is a configuration problem (ErrEmptyLibrary); a populated one
+// simply does not know this name (ErrUnknownApp). Requires l.mu held.
+func (l *Library) lookupErrLocked(app string) error {
+	if len(l.models) == 0 {
+		return fmt.Errorf("%w (%v family): no models trained, cannot look up %q", ErrEmptyLibrary, l.Kind, app)
+	}
+	return fmt.Errorf("%w: %q not in %v library", ErrUnknownApp, app, l.Kind)
 }
 
 // Apps returns the registered application names, sorted.
@@ -122,10 +169,10 @@ func (l *Library) PredictRuntime(target, corunner string) (float64, error) {
 	l.mu.RLock()
 	m, ok := l.models[target]
 	bg, err := l.corunnerFeaturesLocked(corunner)
-	l.mu.RUnlock()
 	if !ok {
-		return 0, fmt.Errorf("model: unknown target %q", target)
+		err = l.lookupErrLocked(target)
 	}
+	l.mu.RUnlock()
 	if err != nil {
 		return 0, err
 	}
@@ -137,10 +184,10 @@ func (l *Library) PredictIOPS(target, corunner string) (float64, error) {
 	l.mu.RLock()
 	m, ok := l.models[target]
 	bg, err := l.corunnerFeaturesLocked(corunner)
-	l.mu.RUnlock()
 	if !ok {
-		return 0, fmt.Errorf("model: unknown target %q", target)
+		err = l.lookupErrLocked(target)
 	}
+	l.mu.RUnlock()
 	if err != nil {
 		return 0, err
 	}
@@ -153,7 +200,7 @@ func (l *Library) SoloRuntime(target string) (float64, error) {
 	defer l.mu.RUnlock()
 	rt, ok := l.soloRT[target]
 	if !ok {
-		return 0, fmt.Errorf("model: unknown target %q", target)
+		return 0, l.lookupErrLocked(target)
 	}
 	return rt, nil
 }
@@ -164,7 +211,7 @@ func (l *Library) SoloIOPS(target string) (float64, error) {
 	defer l.mu.RUnlock()
 	io, ok := l.soloIO[target]
 	if !ok {
-		return 0, fmt.Errorf("model: unknown target %q", target)
+		return 0, l.lookupErrLocked(target)
 	}
 	return io, nil
 }
@@ -176,7 +223,7 @@ func (l *Library) corunnerFeaturesLocked(corunner string) ([]float64, error) {
 	}
 	f, ok := l.features[corunner]
 	if !ok {
-		return nil, fmt.Errorf("model: unknown corunner %q", corunner)
+		return nil, fmt.Errorf("%w: corunner %q not in %v library", ErrUnknownApp, corunner, l.Kind)
 	}
 	return f, nil
 }
@@ -270,13 +317,13 @@ func (o *Oracle) Apps() []string {
 func (o *Oracle) steady(target, corunner string) (xen.AppSteady, error) {
 	t, ok := o.specs[target]
 	if !ok {
-		return xen.AppSteady{}, fmt.Errorf("model: oracle: unknown target %q", target)
+		return xen.AppSteady{}, fmt.Errorf("%w: oracle has no target %q", ErrUnknownApp, target)
 	}
 	apps := []xen.AppSpec{t}
 	if corunner != "" {
 		c, ok := o.specs[corunner]
 		if !ok {
-			return xen.AppSteady{}, fmt.Errorf("model: oracle: unknown corunner %q", corunner)
+			return xen.AppSteady{}, fmt.Errorf("%w: oracle has no corunner %q", ErrUnknownApp, corunner)
 		}
 		c.Name = c.Name + "-bg"
 		apps = append(apps, c)

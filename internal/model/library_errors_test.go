@@ -1,0 +1,190 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tracon/internal/workload"
+	"tracon/internal/xen"
+)
+
+// The serving daemon maps scoring-path failures to HTTP statuses by typed
+// error: ErrUnknownApp (bad request) vs ErrEmptyLibrary / anything else
+// (internal). Every lookup must return the right one instead of panicking.
+func TestLibraryLookupTypedErrors(t *testing.T) {
+	tss, tb := fixture(t)
+	lib := NewLibrary(LM)
+	b := benchSpec(t, "blastn")
+	solo, err := tb.ProfileSolo(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(tss["blastn"], solo); err != nil {
+		t.Fatal(err)
+	}
+	empty := NewLibrary(LM)
+
+	type call func(l *Library) error
+	calls := map[string]call{
+		"PredictRuntime/target": func(l *Library) error { _, err := l.PredictRuntime("nosuch", ""); return err },
+		"PredictRuntime/corun":  func(l *Library) error { _, err := l.PredictRuntime("blastn", "nosuch"); return err },
+		"PredictIOPS/target":    func(l *Library) error { _, err := l.PredictIOPS("nosuch", ""); return err },
+		"PredictIOPS/corun":     func(l *Library) error { _, err := l.PredictIOPS("blastn", "nosuch"); return err },
+		"SoloRuntime":           func(l *Library) error { _, err := l.SoloRuntime("nosuch"); return err },
+		"SoloIOPS":              func(l *Library) error { _, err := l.SoloIOPS("nosuch"); return err },
+		"Features":              func(l *Library) error { _, err := l.Features("nosuch"); return err },
+		"Model":                 func(l *Library) error { _, err := l.Model("nosuch"); return err },
+		"Replace":               func(l *Library) error { return l.Replace("nosuch", nil) },
+	}
+	for name, c := range calls {
+		err := c(lib)
+		if !errors.Is(err, ErrUnknownApp) {
+			t.Errorf("%s on populated library: got %v, want ErrUnknownApp", name, err)
+		}
+		if errors.Is(err, ErrEmptyLibrary) {
+			t.Errorf("%s on populated library wrongly reports ErrEmptyLibrary", name)
+		}
+	}
+	// The same lookups against an empty library are a configuration error,
+	// not a bad name — except the corunner path, which fails on the unknown
+	// target first; either typed error is acceptable there as long as one
+	// fires.
+	for name, c := range calls {
+		err := c(empty)
+		if !errors.Is(err, ErrEmptyLibrary) && !errors.Is(err, ErrUnknownApp) {
+			t.Errorf("%s on empty library: got %v, want a typed lookup error", name, err)
+		}
+		if name != "PredictRuntime/corun" && name != "PredictIOPS/corun" &&
+			!errors.Is(err, ErrEmptyLibrary) {
+			t.Errorf("%s on empty library: got %v, want ErrEmptyLibrary", name, err)
+		}
+	}
+	// Known lookups keep working.
+	if _, err := lib.PredictRuntime("blastn", "blastn"); err != nil {
+		t.Fatalf("known pair failed: %v", err)
+	}
+}
+
+func TestOracleTypedErrors(t *testing.T) {
+	_, tb := fixture(t)
+	o := NewOracle(tb, []xen.AppSpec{benchSpec(t, "blastn")})
+	if _, err := o.PredictRuntime("nosuch", ""); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("oracle target: got %v, want ErrUnknownApp", err)
+	}
+	if _, err := o.PredictRuntime("blastn", "nosuch"); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("oracle corunner: got %v, want ErrUnknownApp", err)
+	}
+}
+
+func TestLibrarySaveLoadRoundTrip(t *testing.T) {
+	tss, tb := fixture(t)
+	lib := NewLibrary(NLM)
+	for _, name := range []string{"blastn", "blastp", "video"} {
+		solo, err := tb.ProfileSolo(benchSpec(t, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Add(tss[name], solo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := lib.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLibrary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind != NLM {
+		t.Fatalf("kind lost: %v", loaded.Kind)
+	}
+	apps := loaded.Apps()
+	if len(apps) != 3 {
+		t.Fatalf("apps lost: %v", apps)
+	}
+	// Every prediction path must match bit-for-bit, including the solo
+	// baselines and co-runner features the scorers rely on.
+	for _, a := range apps {
+		for _, c := range append(apps, "") {
+			for _, f := range []func(p Predictor) (float64, error){
+				func(p Predictor) (float64, error) { return p.PredictRuntime(a, c) },
+				func(p Predictor) (float64, error) { return p.PredictIOPS(a, c) },
+			} {
+				want, err := f(lib)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := f(loaded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want != got {
+					t.Fatalf("prediction diverged after round trip (%s vs %q)", a, c)
+				}
+			}
+		}
+		wantRT, _ := lib.SoloRuntime(a)
+		gotRT, err := loaded.SoloRuntime(a)
+		if err != nil || wantRT != gotRT {
+			t.Fatalf("solo runtime diverged for %s: %v %v (%v)", a, wantRT, gotRT, err)
+		}
+		wantIO, _ := lib.SoloIOPS(a)
+		gotIO, err := loaded.SoloIOPS(a)
+		if err != nil || wantIO != gotIO {
+			t.Fatalf("solo IOPS diverged for %s: %v %v (%v)", a, wantIO, gotIO, err)
+		}
+	}
+}
+
+func TestLibrarySaveRejectsInstanceBasedFamilies(t *testing.T) {
+	tss, tb := fixture(t)
+	lib := NewLibrary(WMM)
+	solo, err := tb.ProfileSolo(benchSpec(t, "blastn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(tss["blastn"], solo); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Save(&bytes.Buffer{}); !errors.Is(err, ErrNotPersistable) {
+		t.Fatalf("WMM library serialized: %v", err)
+	}
+}
+
+func TestAddTrainedValidates(t *testing.T) {
+	tss, _ := fixture(t)
+	m, err := Train(tss["blastn"], LM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := tss["blastn"].Features
+	cases := map[string]error{
+		"nil model":     NewLibrary(LM).AddTrained(nil, feats, xen.SoloProfile{}),
+		"kind mismatch": NewLibrary(NLM).AddTrained(m, feats, xen.SoloProfile{}),
+		"bad features":  NewLibrary(LM).AddTrained(m, []float64{1}, xen.SoloProfile{}),
+	}
+	for name, err := range cases {
+		if err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	lib := NewLibrary(LM)
+	if err := lib.AddTrained(m, feats, xen.SoloProfile{Runtime: 10, IOPS: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if rt, err := lib.SoloRuntime("blastn"); err != nil || rt != 10 {
+		t.Fatalf("AddTrained solo runtime: %v (%v)", rt, err)
+	}
+}
+
+// benchSpec resolves a Table 3 benchmark spec by name.
+func benchSpec(t *testing.T, name string) xen.AppSpec {
+	t.Helper()
+	b, err := workload.BenchmarkByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Spec
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"tracon/internal/stats"
+	"tracon/internal/xen"
 )
 
 // Model persistence: a production TRACON manager trains models once and
@@ -46,25 +48,34 @@ var ErrNotPersistable = fmt.Errorf("model: this family is instance-based; retrai
 
 // Save serializes the model as JSON.
 func (m *AppModel) Save(w io.Writer) error {
+	out, err := m.saved()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// saved builds the on-disk form, or ErrNotPersistable for instance-based
+// families.
+func (m *AppModel) saved() (savedModel, error) {
 	rt, ok := m.runtime.(*fitPredictor)
 	if !ok {
-		return fmt.Errorf("%w (%v)", ErrNotPersistable, m.Kind)
+		return savedModel{}, fmt.Errorf("%w (%v)", ErrNotPersistable, m.Kind)
 	}
 	io_, ok := m.iops.(*fitPredictor)
 	if !ok {
-		return fmt.Errorf("%w (%v)", ErrNotPersistable, m.Kind)
+		return savedModel{}, fmt.Errorf("%w (%v)", ErrNotPersistable, m.Kind)
 	}
-	out := savedModel{
+	return savedModel{
 		App:         m.App,
 		Kind:        m.Kind.String(),
 		SoloRuntime: m.SoloRuntime,
 		SoloIOPS:    m.SoloIOPS,
 		Runtime:     encodeFit(rt),
 		IOPS:        encodeFit(io_),
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	}, nil
 }
 
 func encodeFit(f *fitPredictor) savedFit {
@@ -88,6 +99,11 @@ func Load(r io.Reader) (*AppModel, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("model: decoding saved model: %w", err)
 	}
+	return in.model()
+}
+
+// model reconstructs the AppModel from its on-disk form.
+func (in savedModel) model() (*AppModel, error) {
 	kind, err := kindFromString(in.Kind)
 	if err != nil {
 		return nil, err
@@ -143,6 +159,74 @@ func decodeFit(sf savedFit) (*fitPredictor, error) {
 		hi:       sf.Hi,
 		clamping: sf.Clamping,
 	}, nil
+}
+
+// savedLibrary is the on-disk form of a whole Library: everything a
+// serving daemon needs to score placements — per-app models plus the solo
+// characteristics that describe each application as a co-runner.
+type savedLibrary struct {
+	Kind string              `json:"kind"`
+	Apps []savedLibraryEntry `json:"apps"`
+}
+
+type savedLibraryEntry struct {
+	Model       savedModel `json:"model"`
+	Features    []float64  `json:"features"`
+	SoloRuntime float64    `json:"solo_runtime"`
+	SoloIOPS    float64    `json:"solo_iops"`
+}
+
+// Save serializes the whole library as JSON, apps sorted by name. Only
+// regression-backed families persist; instance-based ones return
+// ErrNotPersistable (retrain them from the profile store instead).
+func (l *Library) Save(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := savedLibrary{Kind: l.Kind.String()}
+	names := make([]string, 0, len(l.models))
+	for a := range l.models {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		sm, err := l.models[a].saved()
+		if err != nil {
+			return err
+		}
+		out.Apps = append(out.Apps, savedLibraryEntry{
+			Model:       sm,
+			Features:    append([]float64(nil), l.features[a]...),
+			SoloRuntime: l.soloRT[a],
+			SoloIOPS:    l.soloIO[a],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadLibrary deserializes a library saved with Library.Save.
+func LoadLibrary(r io.Reader) (*Library, error) {
+	var in savedLibrary
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decoding saved library: %w", err)
+	}
+	kind, err := kindFromString(in.Kind)
+	if err != nil {
+		return nil, err
+	}
+	lib := NewLibrary(kind)
+	for i, e := range in.Apps {
+		m, err := e.Model.model()
+		if err != nil {
+			return nil, fmt.Errorf("model: saved library app %d: %w", i, err)
+		}
+		solo := xen.SoloProfile{Runtime: e.SoloRuntime, IOPS: e.SoloIOPS}
+		if err := lib.AddTrained(m, e.Features, solo); err != nil {
+			return nil, fmt.Errorf("model: saved library app %d: %w", i, err)
+		}
+	}
+	return lib, nil
 }
 
 func kindFromString(s string) (Kind, error) {

@@ -1,0 +1,37 @@
+package obs
+
+// Latency summarization shared by the serving daemon (tracond) and the
+// load generator (traconload): both record request latencies into a
+// Histogram and report the same percentile digest, so the numbers in
+// /metrics and in the load report are computed by one piece of code.
+
+// LatencySummary condenses a latency histogram into the digest a serving
+// benchmark reports: count, mean, and the p50/p95/p99 quantile estimates.
+// Quantiles inherit Histogram.Quantile's semantics: interpolated within
+// buckets, lower-bounded at the last bucket bound for overflow ranks.
+type LatencySummary struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// Latency builds the summary digest from a snapshot.
+func (s HistogramSnapshot) Latency() LatencySummary {
+	return LatencySummary{
+		N:    s.N,
+		Mean: s.Mean(),
+		P50:  s.Quantile(0.50),
+		P95:  s.Quantile(0.95),
+		P99:  s.Quantile(0.99),
+	}
+}
+
+// Latency builds the summary digest from the live histogram.
+func (h *Histogram) Latency() LatencySummary { return h.Snapshot().Latency() }
+
+// DefaultLatencyBuckets spans request latencies from 10µs to ~20min with
+// 2× exponential resolution — wide enough for an in-process placement
+// decision and for a queued task waiting out a saturated cluster.
+func DefaultLatencyBuckets() []float64 { return ExpBuckets(1e-5, 2, 27) }

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLatencySummaryEmpty(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	s := h.Latency()
+	if s.N != 0 || s.Mean != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Fatalf("empty histogram summary not zero: %+v", s)
+	}
+}
+
+func TestLatencySummarySingleSample(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	s := h.Latency()
+	if s.N != 1 {
+		t.Fatalf("n = %d", s.N)
+	}
+	if s.Mean != 1.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// With one observation every quantile lands in the same bucket (1,2];
+	// the estimates must agree with each other and stay inside the bucket.
+	for _, q := range []float64{s.P50, s.P95, s.P99} {
+		if q < 1 || q > 2 {
+			t.Fatalf("quantile %v outside the observed bucket", q)
+		}
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestLatencySummaryMatchesQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(0.001, 2, 20))
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001 * float64(i+1))
+	}
+	snap := h.Snapshot()
+	s := snap.Latency()
+	if s.P50 != snap.Quantile(0.50) || s.P95 != snap.Quantile(0.95) || s.P99 != snap.Quantile(0.99) {
+		t.Fatalf("summary disagrees with Quantile: %+v", s)
+	}
+	if s.N != 1000 {
+		t.Fatalf("n = %d", s.N)
+	}
+	if math.Abs(s.Mean-snap.Mean()) > 1e-12 {
+		t.Fatalf("mean disagrees: %v vs %v", s.Mean, snap.Mean())
+	}
+	// Sanity: the p50 estimate should sit near the true median 0.5s.
+	if s.P50 < 0.3 || s.P50 > 0.8 {
+		t.Fatalf("p50 estimate %v implausible for uniform 0..1s", s.P50)
+	}
+}
+
+func TestLatencySummaryOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(100) // overflow
+	s := h.Latency()
+	// The histogram cannot see beyond its last bound: the estimate is the
+	// documented lower bound, not a fabricated value.
+	if s.P99 != 1 {
+		t.Fatalf("overflow p99 = %v, want last bound 1", s.P99)
+	}
+}

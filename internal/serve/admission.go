@@ -1,0 +1,59 @@
+package serve
+
+import "sync/atomic"
+
+// Admission is the daemon's backpressure valve: a non-blocking in-flight
+// token bucket for the submit path plus a queue-depth bound checked
+// against the placer backlog. A saturated daemon answers 429 with a
+// Retry-After hint instead of building an unbounded internal queue — the
+// caller owns the retry policy.
+type Admission struct {
+	sem      chan struct{}
+	maxQueue int
+
+	rejected atomic.Uint64
+}
+
+// DefaultMaxInflight bounds concurrent submissions being decided.
+const DefaultMaxInflight = 64
+
+// NewAdmission builds the valve. maxInflight <= 0 takes the default;
+// maxQueue <= 0 disables the queue-depth bound.
+func NewAdmission(maxInflight, maxQueue int) *Admission {
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	return &Admission{
+		sem:      make(chan struct{}, maxInflight),
+		maxQueue: maxQueue,
+	}
+}
+
+// TryAcquire claims an in-flight token without blocking.
+func (a *Admission) TryAcquire() bool {
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	default:
+		a.rejected.Add(1)
+		return false
+	}
+}
+
+// Release returns a token claimed with TryAcquire.
+func (a *Admission) Release() { <-a.sem }
+
+// QueueFull reports whether the backlog is at its bound.
+func (a *Admission) QueueFull(depth int) bool {
+	if a.maxQueue <= 0 {
+		return false
+	}
+	full := depth >= a.maxQueue
+	if full {
+		a.rejected.Add(1)
+	}
+	return full
+}
+
+// Rejected counts admissions refused (inflight and queue-depth combined).
+func (a *Admission) Rejected() uint64 { return a.rejected.Load() }

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"tracon/internal/model"
+)
+
+// The serving hot path scores every candidate co-location of every
+// submitted task. The underlying model families pay real evaluation cost
+// per prediction (a KNN search for WMM, 60 trees for Forest, a polynomial
+// expansion for LM/NLM), and a daemon answers the same (target, corunner)
+// queries millions of times. PredCache memoizes predictions in a sharded,
+// bounded map keyed by the model kind and the *feature signature* of the
+// app pair, so repeated scoring skips regression evaluation entirely while
+// a model hot-swap (which changes the signatures) naturally misses and
+// refills.
+
+// predOp distinguishes the four Predictor query types sharing the cache.
+type predOp uint8
+
+const (
+	opRuntime predOp = iota
+	opIOPS
+	opSoloRuntime
+	opSoloIOPS
+)
+
+// predKey addresses one memoized prediction. Target and corunner are
+// feature signatures (FNV-1a over the model kind, library generation, app
+// name and characteristic vector), so two libraries never share entries
+// and a hot-swap invalidates by construction rather than by flushing.
+type predKey struct {
+	op       predOp
+	kind     model.Kind
+	target   uint64
+	corunner uint64
+}
+
+// cacheShards is the shard count; a power of two so the shard pick is a
+// mask. 16 shards keep 8+ submitters from serializing on one mutex.
+const cacheShards = 16
+
+// DefaultCacheCap is the default per-shard entry bound. The full app-pair
+// working set of an 8-app library is tiny (8×9×2 pair predictions); the
+// bound exists so a daemon fed a churning app census cannot grow without
+// limit.
+const DefaultCacheCap = 4096
+
+// PredCache is a sharded, bounded memo of model predictions. It is safe
+// for concurrent use; values are pure functions of their key, so racing
+// fills compute identical results and interleaving never changes contents.
+type PredCache struct {
+	capPerShard int
+	shards      [cacheShards]cacheShard
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[predKey]float64
+}
+
+// NewPredCache builds a cache bounded at capPerShard entries per shard
+// (DefaultCacheCap if <= 0).
+func NewPredCache(capPerShard int) *PredCache {
+	if capPerShard <= 0 {
+		capPerShard = DefaultCacheCap
+	}
+	c := &PredCache{capPerShard: capPerShard}
+	for i := range c.shards {
+		c.shards[i].m = make(map[predKey]float64)
+	}
+	return c
+}
+
+func (c *PredCache) shard(k predKey) *cacheShard {
+	return &c.shards[(k.target^k.corunner^uint64(k.op))&(cacheShards-1)]
+}
+
+// get returns the memoized value for k.
+func (c *PredCache) get(k predKey) (float64, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// put stores v under k, evicting an arbitrary resident entry when the
+// shard is at capacity. Eviction order is irrelevant for correctness —
+// every entry is recomputable — so the first key map iteration yields is
+// good enough and costs O(1).
+func (c *PredCache) put(k predKey, v float64) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if _, resident := s.m[k]; !resident && len(s.m) >= c.capPerShard {
+		for old := range s.m {
+			delete(s.m, old)
+			c.evictions.Add(1)
+			break
+		}
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Len returns the total resident entry count.
+func (c *PredCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// Stats snapshots the counters.
+func (c *PredCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// CachingPredictor wraps a model.Predictor with a PredCache. One instance
+// serves one library generation: app feature signatures are computed at
+// construction, so lookups on the hot path are two map reads and a hash
+// join, never a feature fetch. Unknown applications bypass the cache and
+// surface the library's typed error unchanged.
+type CachingPredictor struct {
+	pred  model.Predictor
+	kind  model.Kind
+	cache *PredCache
+	sigs  map[string]uint64
+	idle  uint64 // signature of the empty corunner
+}
+
+// NewCachingPredictor builds the caching view of lib for the given
+// generation. The generation is folded into every signature so entries
+// from different hot-swap epochs can never collide, even when a retrained
+// model leaves an app's characteristics bit-identical.
+func NewCachingPredictor(lib *model.Library, cache *PredCache, generation uint64) (*CachingPredictor, error) {
+	cp := &CachingPredictor{
+		pred:  lib,
+		kind:  lib.Kind,
+		cache: cache,
+		sigs:  map[string]uint64{},
+	}
+	for _, app := range lib.Apps() {
+		f, err := lib.Features(app)
+		if err != nil {
+			return nil, err
+		}
+		cp.sigs[app] = featureSignature(lib.Kind, generation, app, f)
+	}
+	cp.idle = featureSignature(lib.Kind, generation, "", nil)
+	return cp, nil
+}
+
+// featureSignature hashes (kind, generation, name, features) with FNV-1a.
+func featureSignature(kind model.Kind, generation uint64, app string, features []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(kind))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], generation)
+	h.Write(buf[:])
+	h.Write([]byte(app))
+	for _, f := range features {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Cache exposes the underlying cache (for stats export).
+func (cp *CachingPredictor) Cache() *PredCache { return cp.cache }
+
+// memoized answers op through the cache; compute runs on a miss.
+func (cp *CachingPredictor) memoized(op predOp, target, corunner string, compute func() (float64, error)) (float64, error) {
+	tsig, ok := cp.sigs[target]
+	if !ok {
+		// Unknown target: let the library produce its typed error.
+		return compute()
+	}
+	csig := cp.idle
+	if corunner != "" {
+		if csig, ok = cp.sigs[corunner]; !ok {
+			return compute()
+		}
+	}
+	k := predKey{op: op, kind: cp.kind, target: tsig, corunner: csig}
+	if v, ok := cp.cache.get(k); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return 0, err
+	}
+	cp.cache.put(k, v)
+	return v, nil
+}
+
+// PredictRuntime implements model.Predictor.
+func (cp *CachingPredictor) PredictRuntime(target, corunner string) (float64, error) {
+	return cp.memoized(opRuntime, target, corunner, func() (float64, error) {
+		return cp.pred.PredictRuntime(target, corunner)
+	})
+}
+
+// PredictIOPS implements model.Predictor.
+func (cp *CachingPredictor) PredictIOPS(target, corunner string) (float64, error) {
+	return cp.memoized(opIOPS, target, corunner, func() (float64, error) {
+		return cp.pred.PredictIOPS(target, corunner)
+	})
+}
+
+// SoloRuntime implements model.Predictor.
+func (cp *CachingPredictor) SoloRuntime(target string) (float64, error) {
+	return cp.memoized(opSoloRuntime, target, "", func() (float64, error) {
+		return cp.pred.SoloRuntime(target)
+	})
+}
+
+// SoloIOPS implements model.Predictor.
+func (cp *CachingPredictor) SoloIOPS(target string) (float64, error) {
+	return cp.memoized(opSoloIOPS, target, "", func() (float64, error) {
+		return cp.pred.SoloIOPS(target)
+	})
+}
+
+// Apps implements model.Predictor.
+func (cp *CachingPredictor) Apps() []string { return cp.pred.Apps() }

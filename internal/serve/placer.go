@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tracon/internal/model"
+	"tracon/internal/sched"
+)
+
+// ErrUnknownPlacement is returned for an ID the placer has never issued
+// (or has already evicted from the finished ring).
+var ErrUnknownPlacement = errors.New("serve: unknown placement")
+
+// ErrNotPlaced is returned when completing a task that is not currently
+// occupying a slot (still queued, already completed, or failed).
+var ErrNotPlaced = errors.New("serve: placement is not in the placed state")
+
+// Placement status values.
+const (
+	StatusQueued    = "queued"
+	StatusPlaced    = "placed"
+	StatusCompleted = "completed"
+	StatusFailed    = "failed"
+)
+
+// Placement is the lifecycle record of one submitted task.
+type Placement struct {
+	ID  string `json:"id"`
+	App string `json:"app"`
+	// Status is queued, placed, completed or failed.
+	Status string `json:"status"`
+	// Machine and Slot locate the placement (-1 while queued).
+	Machine int `json:"machine"`
+	Slot    int `json:"slot"`
+	// Neighbour is the application occupying the machine's other VM at
+	// placement time ("" for an idle machine).
+	Neighbour string `json:"neighbour"`
+	// PredictedRuntime and PredictedIOPS are the active model's forecast
+	// for this co-location, captured at placement time; completions report
+	// observed values against them to drive drift detection.
+	PredictedRuntime float64 `json:"predicted_runtime_s"`
+	PredictedIOPS    float64 `json:"predicted_iops"`
+	// Generation is the model generation that made the decision.
+	Generation uint64 `json:"generation"`
+	// Error carries the failure reason for StatusFailed.
+	Error string `json:"error,omitempty"`
+
+	// bg is the neighbour's characteristic vector at placement time, kept
+	// for the retraining sample the completion observation turns into.
+	bg []float64
+}
+
+// clone returns a copy safe to hand out after the placer lock is dropped.
+func (p *Placement) clone() *Placement {
+	c := *p
+	c.bg = append([]float64(nil), p.bg...)
+	return &c
+}
+
+// slot is one VM of a two-VM machine.
+type slot struct {
+	taskID string // "" when free
+	app    string
+}
+
+// machine is one physical host: two VMs, per the testbed model.
+type machine struct {
+	slots [2]slot
+}
+
+// SlotsPerMachine mirrors the two-VM machine model of the simulator.
+const SlotsPerMachine = 2
+
+// Placer owns the serving-side cluster state: the machine inventory, the
+// FIFO backlog, and the placement records. All mutations happen under one
+// mutex; scheduling decisions go through the ModelSet's current view, so a
+// model hot-swap between two submissions is invisible to either.
+type Placer struct {
+	models *ModelSet
+
+	mu         sync.Mutex
+	machines   []machine
+	queue      []string // queued placement IDs, FIFO
+	placements map[string]*Placement
+	nextID     int64
+
+	// done is the FIFO of finished (completed/failed) placement IDs; the
+	// oldest records are dropped beyond doneCap so the map stays bounded.
+	done    []string
+	doneCap int
+
+	// placedCount tracks busy slots for O(1) free-slot queries.
+	placedCount int
+}
+
+// DefaultCompletedCap bounds how many finished placement records are kept
+// for GET /v1/placements/{id}.
+const DefaultCompletedCap = 65536
+
+// NewPlacer builds an empty inventory of machines.
+func NewPlacer(models *ModelSet, machines, completedCap int) (*Placer, error) {
+	if machines <= 0 {
+		return nil, fmt.Errorf("serve: need at least one machine, got %d", machines)
+	}
+	if completedCap <= 0 {
+		completedCap = DefaultCompletedCap
+	}
+	return &Placer{
+		models:     models,
+		machines:   make([]machine, machines),
+		placements: map[string]*Placement{},
+		doneCap:    completedCap,
+	}, nil
+}
+
+// Submit validates, records and tries to place one task. The returned
+// Placement is a copy; its status is placed when a slot was free (or the
+// scheduler chose to use one) and queued otherwise.
+func (p *Placer) Submit(app string) (*Placement, error) {
+	view := p.models.View()
+	if !view.Known[app] {
+		// Reproduce the library's typed error so the HTTP layer can map it
+		// to 400 without a second lookup.
+		_, err := view.Lib.SoloRuntime(app)
+		if err == nil {
+			err = fmt.Errorf("%w: %q", model.ErrUnknownApp, app)
+		}
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	rec := &Placement{
+		ID:      fmt.Sprintf("t-%d", p.nextID),
+		App:     app,
+		Status:  StatusQueued,
+		Machine: -1,
+		Slot:    -1,
+	}
+	p.placements[rec.ID] = rec
+	p.queue = append(p.queue, rec.ID)
+	if err := p.drainLocked(); err != nil {
+		return nil, err
+	}
+	return rec.clone(), nil
+}
+
+// Observation is a completion report: what the task actually experienced.
+type Observation struct {
+	Runtime float64 `json:"runtime_s"`
+	IOPS    float64 `json:"iops"`
+}
+
+// Complete frees the task's slot and re-runs the scheduler over the
+// backlog. It returns the completed record (a copy).
+func (p *Placer) Complete(id string) (*Placement, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.placements[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlacement, id)
+	}
+	if rec.Status != StatusPlaced {
+		return nil, fmt.Errorf("%w: %q is %s", ErrNotPlaced, id, rec.Status)
+	}
+	m := &p.machines[rec.Machine]
+	if m.slots[rec.Slot].taskID != id {
+		return nil, fmt.Errorf("serve: slot bookkeeping corrupt for %q", id)
+	}
+	m.slots[rec.Slot] = slot{}
+	p.placedCount--
+	rec.Status = StatusCompleted
+	p.finishLocked(rec.ID)
+	if err := p.drainLocked(); err != nil {
+		return rec.clone(), err
+	}
+	return rec.clone(), nil
+}
+
+// Get returns a copy of the placement record.
+func (p *Placer) Get(id string) (*Placement, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.placements[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+// QueueDepth returns the backlog length.
+func (p *Placer) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// FreeSlots returns the number of idle VMs.
+func (p *Placer) FreeSlots() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return SlotsPerMachine*len(p.machines) - p.placedCount
+}
+
+// SlotView is the JSON shape of one VM in GET /v1/machines.
+type SlotView struct {
+	State string `json:"state"` // "free" | "busy"
+	Task  string `json:"task,omitempty"`
+	App   string `json:"app,omitempty"`
+}
+
+// MachineView is the JSON shape of one machine.
+type MachineView struct {
+	ID    int        `json:"id"`
+	Slots []SlotView `json:"slots"`
+}
+
+// Machines renders the inventory.
+func (p *Placer) Machines() []MachineView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]MachineView, len(p.machines))
+	for i := range p.machines {
+		mv := MachineView{ID: i, Slots: make([]SlotView, SlotsPerMachine)}
+		for j, s := range p.machines[i].slots {
+			if s.taskID == "" {
+				mv.Slots[j] = SlotView{State: "free"}
+			} else {
+				mv.Slots[j] = SlotView{State: "busy", Task: s.taskID, App: s.app}
+			}
+		}
+		out[i] = mv
+	}
+	return out
+}
+
+// finishLocked appends id to the finished ring, evicting the oldest
+// finished record beyond the cap.
+func (p *Placer) finishLocked(id string) {
+	p.done = append(p.done, id)
+	for len(p.done) > p.doneCap {
+		delete(p.placements, p.done[0])
+		p.done = p.done[1:]
+	}
+}
+
+// countsLocked summarizes the free pool the way the schedulers expect:
+// an idle machine contributes two empty-category slots; a half-busy one
+// contributes one slot in its occupant's category.
+func (p *Placer) countsLocked() sched.Counts {
+	counts := sched.Counts{}
+	for i := range p.machines {
+		s0, s1 := p.machines[i].slots[0], p.machines[i].slots[1]
+		switch {
+		case s0.taskID == "" && s1.taskID == "":
+			counts[sched.EmptyCategory] += 2
+		case s0.taskID == "":
+			counts[s1.app]++
+		case s1.taskID == "":
+			counts[s0.app]++
+		}
+	}
+	return counts
+}
+
+// drainLocked runs the scheduler over the backlog until it stops placing.
+// Queued applications the current library no longer knows (possible after
+// a hot-swap to a different census) fail loudly instead of wedging the
+// queue head.
+func (p *Placer) drainLocked() error {
+	view := p.models.View()
+	// Evict unknowable queue entries first.
+	kept := p.queue[:0]
+	for _, id := range p.queue {
+		rec := p.placements[id]
+		if view.Known[rec.App] {
+			kept = append(kept, id)
+			continue
+		}
+		rec.Status = StatusFailed
+		rec.Error = fmt.Sprintf("application %q unknown to generation %d library", rec.App, view.Gen)
+		p.finishLocked(id)
+	}
+	p.queue = kept
+
+	for len(p.queue) > 0 {
+		free := SlotsPerMachine*len(p.machines) - p.placedCount
+		if free == 0 {
+			return nil
+		}
+		n := view.Scheduler.BatchSize()
+		if n > len(p.queue) {
+			n = len(p.queue)
+		}
+		batch := make([]sched.Task, n)
+		for i, id := range p.queue[:n] {
+			batch[i] = sched.Task{ID: int64(i), App: p.placements[id].App}
+		}
+		load := sched.Load{TotalSlots: SlotsPerMachine * len(p.machines), Queued: len(p.queue)}
+		placements, err := view.Scheduler.Schedule(batch, p.countsLocked(), load)
+		if err != nil {
+			return fmt.Errorf("serve: scheduling: %w", err)
+		}
+		if len(placements) == 0 {
+			return nil
+		}
+		// Map the decisions onto concrete machines in order; each executed
+		// placement updates the inventory the next mapping reads, exactly
+		// like sched.Counts.take does inside the scheduler.
+		placedIDs := map[int64]bool{}
+		for _, pl := range placements {
+			id := p.queue[pl.Task.ID]
+			if err := p.executeLocked(p.placements[id], pl.Category, view); err != nil {
+				return err
+			}
+			placedIDs[pl.Task.ID] = true
+		}
+		kept := p.queue[:0]
+		for i, id := range p.queue {
+			if !placedIDs[int64(i)] {
+				kept = append(kept, id)
+			}
+		}
+		p.queue = kept
+		if len(placements) < n {
+			return nil // cluster full mid-batch
+		}
+	}
+	return nil
+}
+
+// executeLocked binds a scheduling decision to a concrete (machine, slot).
+func (p *Placer) executeLocked(rec *Placement, category string, view ModelView) error {
+	mi, si := p.findSlotLocked(category)
+	if mi < 0 {
+		return fmt.Errorf("serve: scheduler chose category %q but no matching slot is free", category)
+	}
+	other := p.machines[mi].slots[1-si]
+	rec.Status = StatusPlaced
+	rec.Machine = mi
+	rec.Slot = si
+	rec.Neighbour = other.app
+	rec.Generation = view.Gen
+	// Forecast this co-location for the completion-time drift check. The
+	// prediction is telemetry: a failure here (cannot happen for a known
+	// pair) must not undo a valid placement.
+	if rt, err := view.Pred.PredictRuntime(rec.App, other.app); err == nil {
+		rec.PredictedRuntime = rt
+	}
+	if io, err := view.Pred.PredictIOPS(rec.App, other.app); err == nil {
+		rec.PredictedIOPS = io
+	}
+	if other.app != "" {
+		if f, err := view.Lib.Features(other.app); err == nil {
+			rec.bg = append([]float64(nil), f...)
+		}
+	} else {
+		rec.bg = make([]float64, model.NumFeatures)
+	}
+	p.machines[mi].slots[si] = slot{taskID: rec.ID, app: rec.App}
+	p.placedCount++
+	return nil
+}
+
+// findSlotLocked picks the lowest-indexed free slot matching the category:
+// AnyCategory takes the first free VM, EmptyCategory a fully idle machine,
+// and an application category a half-busy machine whose occupant runs it.
+func (p *Placer) findSlotLocked(category string) (mi, si int) {
+	for i := range p.machines {
+		s0free := p.machines[i].slots[0].taskID == ""
+		s1free := p.machines[i].slots[1].taskID == ""
+		switch category {
+		case sched.AnyCategory:
+			if s0free {
+				return i, 0
+			}
+			if s1free {
+				return i, 1
+			}
+		case sched.EmptyCategory:
+			if s0free && s1free {
+				return i, 0
+			}
+		default:
+			if s0free != s1free { // exactly one free
+				occ := p.machines[i].slots[0]
+				free := 1
+				if s0free {
+					occ = p.machines[i].slots[1]
+					free = 0
+				}
+				if occ.app == category {
+					return i, free
+				}
+			}
+		}
+	}
+	return -1, -1
+}
+
+// CheckInvariants validates the placer's bookkeeping: slots and placement
+// records must agree exactly, the queue must hold only queued records, and
+// the placed count must match the busy-slot census. Tests call it after
+// concurrent hammering; any violation is a serving-layer bug.
+func (p *Placer) CheckInvariants() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	busy := 0
+	for i := range p.machines {
+		for j, s := range p.machines[i].slots {
+			if s.taskID == "" {
+				continue
+			}
+			busy++
+			rec, ok := p.placements[s.taskID]
+			if !ok {
+				return fmt.Errorf("serve: slot %d/%d holds unknown task %q", i, j, s.taskID)
+			}
+			if rec.Status != StatusPlaced || rec.Machine != i || rec.Slot != j || rec.App != s.app {
+				return fmt.Errorf("serve: slot %d/%d disagrees with record %+v", i, j, rec)
+			}
+		}
+	}
+	if busy != p.placedCount {
+		return fmt.Errorf("serve: placedCount %d but %d busy slots", p.placedCount, busy)
+	}
+	placed := 0
+	for _, rec := range p.placements {
+		if rec.Status == StatusPlaced {
+			placed++
+			if rec.Machine < 0 || rec.Machine >= len(p.machines) ||
+				p.machines[rec.Machine].slots[rec.Slot].taskID != rec.ID {
+				return fmt.Errorf("serve: placed record %q not on its slot", rec.ID)
+			}
+		}
+	}
+	if placed != busy {
+		return fmt.Errorf("serve: %d placed records but %d busy slots", placed, busy)
+	}
+	for _, id := range p.queue {
+		rec, ok := p.placements[id]
+		if !ok || rec.Status != StatusQueued {
+			return fmt.Errorf("serve: queue entry %q not a queued record", id)
+		}
+	}
+	return nil
+}

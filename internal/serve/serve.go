@@ -1,0 +1,359 @@
+// Package serve is TRACON's online control plane: the long-running
+// management server of Sec. 2 / Fig. 2, turned from a batch reproduction
+// into a placement daemon. It loads a trained model library, owns a
+// machine inventory, and answers streaming placement queries over a
+// stdlib-only JSON HTTP API:
+//
+//	POST /v1/tasks                    submit a task for placement
+//	GET  /v1/placements/{id}          placement lifecycle record
+//	POST /v1/placements/{id}/complete free the slot, report the outcome
+//	GET  /v1/machines                 inventory with per-VM occupancy
+//	GET  /v1/models                   served family, generation, cache stats
+//	POST /v1/models/swap              force a retrain-and-swap
+//	GET  /healthz                     liveness + census
+//	GET  /metrics                     obs.Registry snapshot (JSON)
+//	/debug/pprof/*                    runtime profiling
+//
+// Three serving-specific mechanisms live underneath: a sharded bounded
+// prediction cache so repeated co-location scoring skips regression
+// evaluation (cache.go), admission control with in-flight and
+// queue-depth backpressure (admission.go), and drift-triggered model
+// hot-swap under an RWMutex so a retrained family replaces the served one
+// without dropping requests (swap.go).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"tracon/internal/model"
+	"tracon/internal/monitor"
+	"tracon/internal/obs"
+	"tracon/internal/sched"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Machines is the inventory size (two VMs each).
+	Machines int
+	// Policy is the scheduling policy: "mios" (default), "fifo", "mibs",
+	// "mix". QueueLen is the batch size for the batch policies.
+	Policy   string
+	QueueLen int
+	// Objective selects the optimization target (default MinRuntime).
+	Objective sched.Objective
+	// MaxInflight bounds concurrent submissions (DefaultMaxInflight if 0).
+	MaxInflight int
+	// MaxQueue bounds the backlog; beyond it submissions get 429. Zero
+	// defaults to 4 tasks per VM; negative disables the bound.
+	MaxQueue int
+	// CacheCap is the prediction cache's per-shard entry bound
+	// (DefaultCacheCap if 0). DisableCache scores without memoization —
+	// the reference path the cache is validated against.
+	CacheCap     int
+	DisableCache bool
+	// Retrain, when set, enables drift-triggered and manual hot-swap.
+	Retrain Retrainer
+	// Drift tunes the detector; zero values take monitor defaults.
+	Drift monitor.DriftConfig
+	// SyncRetrain runs retrains on the completing request's goroutine
+	// instead of asynchronously (deterministic tests and walkthroughs).
+	SyncRetrain bool
+	// CompletedCap bounds retained finished placement records.
+	CompletedCap int
+}
+
+// Server is the tracond daemon core, constructed over a trained library.
+type Server struct {
+	cfg       Config
+	models    *ModelSet
+	placer    *Placer
+	swapper   *SwapManager
+	admission *Admission
+	cache     *PredCache // nil when disabled
+
+	reg      *obs.Registry
+	latency  *obs.Histogram
+	decision *obs.Histogram
+	start    time.Time
+}
+
+// New builds a Server serving placements from lib.
+func New(lib *model.Library, cfg Config) (*Server, error) {
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("serve: config needs Machines > 0")
+	}
+	var cache *PredCache
+	if !cfg.DisableCache {
+		cache = NewPredCache(cfg.CacheCap)
+	}
+	ms, err := NewModelSet(lib, cfg.Policy, cfg.QueueLen, cfg.Objective, cache)
+	if err != nil {
+		return nil, err
+	}
+	placer, err := NewPlacer(ms, cfg.Machines, cfg.CompletedCap)
+	if err != nil {
+		return nil, err
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 4 * SlotsPerMachine * cfg.Machines
+	}
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:       cfg,
+		models:    ms,
+		placer:    placer,
+		swapper:   NewSwapManager(ms, cfg.Retrain, cfg.Drift, cfg.SyncRetrain),
+		admission: NewAdmission(cfg.MaxInflight, maxQueue),
+		cache:     cache,
+		reg:       reg,
+		latency:   reg.Histogram("serve.request_seconds", obs.DefaultLatencyBuckets()),
+		decision:  reg.Histogram("serve.decision_seconds", obs.DefaultLatencyBuckets()),
+		start:     time.Now(),
+	}
+	return s, nil
+}
+
+// ModelSet exposes the hot-swap surface (tests, tracond's admin paths).
+func (s *Server) ModelSet() *ModelSet { return s.models }
+
+// Placer exposes the inventory (tests).
+func (s *Server) Placer() *Placer { return s.placer }
+
+// Swapper exposes the drift loop (tests, tracond).
+func (s *Server) Swapper() *SwapManager { return s.swapper }
+
+// Registry exposes the metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// CheckInvariants delegates to the placer.
+func (s *Server) CheckInvariants() error { return s.placer.CheckInvariants() }
+
+// Drain waits for background work (async retrains) to finish; call after
+// the HTTP listener has shut down.
+func (s *Server) Drain() { s.swapper.Wait() }
+
+// Handler builds the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", s.timed(s.handleSubmit))
+	mux.HandleFunc("GET /v1/placements/{id}", s.timed(s.handleGetPlacement))
+	mux.HandleFunc("POST /v1/placements/{id}/complete", s.timed(s.handleComplete))
+	mux.HandleFunc("GET /v1/machines", s.timed(s.handleMachines))
+	mux.HandleFunc("GET /v1/models", s.timed(s.handleModels))
+	mux.HandleFunc("POST /v1/models/swap", s.timed(s.handleSwap))
+	mux.HandleFunc("GET /healthz", s.timed(s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.timed(s.handleMetrics))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// timed wraps a handler with request-latency recording.
+func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		s.latency.Observe(time.Since(t0).Seconds())
+		s.reg.Counter("serve.http_requests").Inc()
+	}
+}
+
+// submitRequest is the POST /v1/tasks body.
+type submitRequest struct {
+	App string `json:"app"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.admission.TryAcquire() {
+		s.reject(w, "too many in-flight submissions")
+		return
+	}
+	defer s.admission.Release()
+	if s.admission.QueueFull(s.placer.QueueDepth()) {
+		s.reject(w, "placement queue is full")
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.App == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"app\""})
+		return
+	}
+	t0 := time.Now()
+	rec, err := s.placer.Submit(req.App)
+	s.decision.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		s.placementError(w, err)
+		return
+	}
+	s.reg.Counter("serve.tasks_submitted").Inc()
+	if rec.Status == StatusPlaced {
+		s.reg.Counter("serve.tasks_placed").Inc()
+	} else {
+		s.reg.Counter("serve.tasks_queued").Inc()
+	}
+	s.observeGauges()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleGetPlacement(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.placer.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown placement"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var obs Observation
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&obs); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+	}
+	rec, err := s.placer.Complete(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownPlacement):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrNotPlaced):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		// The completion itself landed; the post-completion drain failed.
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.reg.Counter("serve.tasks_completed").Inc()
+	if obs.Runtime > 0 {
+		s.swapper.ObserveCompletion(rec.App, rec.bg, rec.PredictedRuntime, obs)
+	}
+	s.observeGauges()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.placer.Machines())
+}
+
+// modelsResponse is the GET /v1/models body.
+type modelsResponse struct {
+	Kind       string      `json:"kind"`
+	Generation uint64      `json:"generation"`
+	Swaps      uint64      `json:"swaps"`
+	DriftFires uint64      `json:"drift_fires"`
+	Apps       []string    `json:"apps"`
+	Cache      *CacheStats `json:"cache,omitempty"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	view := s.models.View()
+	resp := modelsResponse{
+		Kind:       view.Lib.Kind.String(),
+		Generation: view.Gen,
+		Swaps:      s.models.Swaps(),
+		DriftFires: s.swapper.DriftFires(),
+		Apps:       view.Lib.Apps(),
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		resp.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, _ *http.Request) {
+	if err := s.swapper.TriggerSwap(); err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"generation": s.models.Generation()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	view := s.models.View()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"kind":        view.Lib.Kind.String(),
+		"generation":  view.Gen,
+		"apps":        view.Lib.Apps(),
+		"machines":    len(s.placer.machines),
+		"free_slots":  s.placer.FreeSlots(),
+		"queue_depth": s.placer.QueueDepth(),
+		"uptime_s":    time.Since(s.start).Seconds(),
+		"latency":     s.latency.Latency(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.observeGauges()
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// observeGauges refreshes the point-in-time metrics from their owners.
+func (s *Server) observeGauges() {
+	s.reg.Gauge("serve.queue_depth").Set(float64(s.placer.QueueDepth()))
+	s.reg.Gauge("serve.free_slots").Set(float64(s.placer.FreeSlots()))
+	s.reg.Gauge("serve.generation").Set(float64(s.models.Generation()))
+	s.reg.Gauge("serve.model_swaps").Set(float64(s.models.Swaps()))
+	s.reg.Gauge("serve.drift_fires").Set(float64(s.swapper.DriftFires()))
+	s.reg.Gauge("serve.retrain_errors").Set(float64(s.swapper.RetrainErrors()))
+	s.reg.Gauge("serve.admission_rejected").Set(float64(s.admission.Rejected()))
+	if s.cache != nil {
+		st := s.cache.Stats()
+		s.reg.Gauge("serve.cache_hits").Set(float64(st.Hits))
+		s.reg.Gauge("serve.cache_misses").Set(float64(st.Misses))
+		s.reg.Gauge("serve.cache_evictions").Set(float64(st.Evictions))
+		s.reg.Gauge("serve.cache_entries").Set(float64(st.Entries))
+	}
+}
+
+// reject answers 429 with a retry hint.
+func (s *Server) reject(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: reason})
+	s.reg.Counter("serve.tasks_rejected").Inc()
+}
+
+// placementError maps scoring-path failures onto HTTP statuses using the
+// model package's typed errors: a name the library does not know is the
+// caller's mistake (400); an empty library is the operator's (503);
+// anything else is ours (500).
+func (s *Server) placementError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, model.ErrUnknownApp):
+		s.reg.Counter("serve.tasks_rejected_unknown_app").Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case errors.Is(err, model.ErrEmptyLibrary):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

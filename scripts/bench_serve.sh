@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench_serve.sh — capture the PR-4 serving benchmarks into one JSON file:
+#   1. go-test benchmarks of the prediction cache's hit path vs uncached
+#      regression scoring (NLM and Forest families), and
+#   2. a fixed-seed traconload run (throughput, p50/p95/p99) against a
+#      freshly trained tracond.
+# Usage: bench_serve.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr4.json}"
+workdir="$(mktemp -d)"
+daemon_pid=""
+
+cleanup() {
+    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -KILL "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go test -json -run '^$' -bench 'BenchmarkPredict(Cached|Uncached)(NLM|Forest)' \
+    -benchmem -count=1 ./internal/serve >"$workdir/cache.json"
+
+go build -o "$workdir/tracond" ./cmd/tracond
+go build -o "$workdir/traconload" ./cmd/traconload
+
+"$workdir/tracond" \
+    -addr 127.0.0.1:0 -portfile "$workdir/port" \
+    -machines 8 -model NLM -policy mios -seed 1 \
+    >"$workdir/tracond.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 300); do
+    [[ -s "$workdir/port" ]] && break
+    sleep 0.1
+done
+addr="$(tr -d '\n' <"$workdir/port")"
+
+"$workdir/traconload" \
+    -addr "$addr" -tasks 500 -concurrency 8 -seed 1 -json \
+    >"$workdir/load.json"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+
+# Stitch the two captures into one artifact: the go-test event stream
+# under "cache_benchmarks" (one event per line) and the load summary
+# under "load".
+{
+    echo '{'
+    echo '  "bench": "pr4-serving",'
+    echo '  "config": {"machines": 8, "model": "NLM", "policy": "mios", "seed": 1, "tasks": 500, "concurrency": 8},'
+    echo '  "cache_benchmarks": ['
+    sed -e 's/^/    /' -e '$!s/$/,/' "$workdir/cache.json"
+    echo '  ],'
+    echo '  "load": '
+    sed 's/^/  /' "$workdir/load.json"
+    echo '}'
+} >"$out"
+
+echo "bench-serve: wrote $out"
