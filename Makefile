@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race audit trace serve-smoke bench bench-json bench-serve clean
+.PHONY: ci vet build test race audit trace serve-smoke chaos fuzz-smoke bench bench-json bench-serve clean
 
-ci: vet build test race audit trace serve-smoke
+ci: vet build test race audit trace serve-smoke chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,22 @@ trace:
 # traconload burst, assert non-zero completions and a clean SIGTERM drain.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Chaos gate: the simulator-side fault-injection suite (crash recovery,
+# retry/backoff/timeout, golden determinism under faults), the serve-side
+# machine lifecycle tests, and the end-to-end drill — tracond under
+# traconload -chaos with random kills and revivals; no task may fail.
+chaos:
+	$(GO) test ./internal/fault ./internal/sim -run 'TestChaos|TestTimeout|TestRetry|TestBackoff|TestSlowdown|TestEmptyPlan|Fault' -count=1
+	$(GO) test ./internal/serve -run 'TestMachineLifecycle|TestDrainCordons|TestKillRequeues|TestAdmissionShedding|TestHTTPMachineOps' -count=1
+	$(GO) test ./internal/experiments -run 'TestChaosExperiments|TestEmptyFaultFactory' -short -count=1
+	bash scripts/chaos_smoke.sh
+
+# Ten seconds of coverage-guided fuzzing against the placer's machine
+# lifecycle (submit/complete/kill/revive/drain/undrain interleavings);
+# the checked-in corpus under internal/serve/testdata seeds it.
+fuzz-smoke:
+	$(GO) test ./internal/serve -fuzz=FuzzPlacerBacklog -fuzztime=10s -run '^$$'
 
 # Regenerate the paper exhibits through the benchmark harness.
 bench:

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"tracon/internal/experiments"
+	"tracon/internal/fault"
 	"tracon/internal/obs"
 	"tracon/internal/sched"
 	"tracon/internal/sim"
@@ -48,6 +49,7 @@ func main() {
 		metricDir = flag.String("metrics-dir", "results", "directory for -metrics exports")
 		audit     = flag.Bool("audit", false, "attach the invariant auditor to every simulation; exits 1 if any violation is found")
 		auditN    = flag.Int("audit-every", 32, "audit full-state scan sampling: one scan per N events (O(1) checks always run)")
+		faultPlan = flag.String("faults", "", "inject faults from this JSON plan into every simulation (see EXPERIMENTS.md; the plan is filtered per run to the run's cluster size)")
 		traceRuns = flag.Bool("trace", false, "record per-task lifecycle traces; writes trace_seed<seed>.ndjson under -trace-dir (inspect with tracontrace)")
 		traceDir  = flag.String("trace-dir", "results", "directory for -trace exports")
 		traceCap  = flag.Int("trace-cap", obs.DefaultTraceCap, "per-run trace ring capacity in events; the oldest events drop beyond it")
@@ -86,6 +88,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Load and validate the fault plan before the (expensive) environment
+	// build so a typo'd plan fails in milliseconds, like a bad -only name.
+	var plan *fault.Plan
+	if *faultPlan != "" {
+		if plan, err = fault.LoadFile(*faultPlan); err != nil {
+			log.Fatalf("loading fault plan: %v", err)
+		}
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building environment (profiling 8 apps × 125 workloads, training models, %d workers)...\n", *parallel)
 	env, err := experiments.NewEnvParallel(*seed, *parallel)
@@ -103,6 +114,15 @@ func main() {
 	var auditors []*obs.InvariantAuditor
 	if *metrics {
 		collector = obs.NewCollector()
+	}
+	if plan != nil {
+		// Filter per run: a sweep visits many cluster sizes, and crashes or
+		// slowdowns aimed at machines a small run lacks must not reject it.
+		env.Faults = func(kind, scheduler string, machines int, tasks []sched.Task) *fault.Plan {
+			return plan.ForMachines(machines)
+		}
+		fmt.Fprintf(os.Stderr, "fault injection: %s (%d crashes, %d slowdowns, fail-prob %g, timeout %gs)\n",
+			*faultPlan, len(plan.Crashes), len(plan.Slowdowns), plan.FailProb, plan.TaskTimeout)
 	}
 	var traces *obs.TraceCollector
 	if *traceRuns {

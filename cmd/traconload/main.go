@@ -13,6 +13,13 @@
 // forecast times multiplicative noise; -drift inflates observed runtimes
 // for the second half of the run to exercise the drift-triggered model
 // hot-swap path end to end.
+//
+// -chaos turns the run into a failure drill: a background goroutine kills
+// and revives random machines through the daemon's lifecycle API while the
+// load runs. Workers ride out the churn — a completion answered 409 means
+// the task's machine died and the daemon re-queued it, so the worker waits
+// for the re-placement and completes it there. Every killed machine is
+// revived before the run reports.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,6 +56,8 @@ func main() {
 		pollEvery   = flag.Duration("poll", 2*time.Millisecond, "queued-placement poll interval")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "overall run timeout")
 		jsonOut     = flag.Bool("json", false, "emit the summary as JSON")
+		chaos       = flag.Bool("chaos", false, "kill and revive random machines during the run; tasks must survive via the daemon's re-queue")
+		chaosEvery  = flag.Duration("chaos-interval", 200*time.Millisecond, "interval between -chaos kill/revive actions")
 	)
 	flag.Parse()
 
@@ -55,6 +65,7 @@ func main() {
 		base: "http://" + *target, tasks: *tasks, concurrency: *concurrency,
 		rate: *rate, seed: *seed, apps: *apps, noise: *noise, drift: *drift,
 		pollEvery: *pollEvery, timeout: *timeout,
+		chaos: *chaos, chaosEvery: *chaosEvery,
 	})
 	if err != nil {
 		log.Fatalf("traconload: %v", err)
@@ -82,6 +93,8 @@ type loadConfig struct {
 	drift       float64
 	pollEvery   time.Duration
 	timeout     time.Duration
+	chaos       bool
+	chaosEvery  time.Duration
 }
 
 // summary is the run report (the -json shape).
@@ -98,6 +111,12 @@ type summary struct {
 	SubmitLatency obs.LatencySummary `json:"submit_latency_s"`
 	E2ELatency    obs.LatencySummary `json:"e2e_latency_s"`
 	FinalGen      uint64             `json:"final_generation"`
+	// Chaos-mode counters: machines killed/revived by the drill, and tasks
+	// that survived losing their machine mid-flight (completed after a
+	// daemon-side re-queue and re-placement).
+	ChaosKills   int64 `json:"chaos_kills,omitempty"`
+	ChaosRevives int64 `json:"chaos_revives,omitempty"`
+	Retried      int64 `json:"retried,omitempty"`
 }
 
 func (s summary) text() string {
@@ -110,6 +129,10 @@ func (s summary) text() string {
 	fmt.Fprintf(&b, "e2e lat     p50 %.1fµs  p95 %.1fµs  p99 %.1fµs\n",
 		s.E2ELatency.P50*1e6, s.E2ELatency.P95*1e6, s.E2ELatency.P99*1e6)
 	fmt.Fprintf(&b, "model gen   %d\n", s.FinalGen)
+	if s.ChaosKills > 0 {
+		fmt.Fprintf(&b, "chaos       %d kills, %d revives, %d tasks survived re-placement\n",
+			s.ChaosKills, s.ChaosRevives, s.Retried)
+	}
 	return b.String()
 }
 
@@ -124,6 +147,7 @@ type loader struct {
 
 	submitted, completed, queued, rejected, failed atomic.Int64
 	issued                                         atomic.Int64 // tasks handed to workers, for the drift midpoint
+	kills, revives, retried                        atomic.Int64
 	deadline                                       time.Time
 }
 
@@ -140,10 +164,20 @@ func run(cfg loadConfig) (summary, error) {
 	}
 
 	start := time.Now()
+	var chaosStop chan struct{}
+	var chaosDone chan struct{}
+	if cfg.chaos {
+		chaosStop, chaosDone = make(chan struct{}), make(chan struct{})
+		go l.chaosLoop(chaosStop, chaosDone)
+	}
 	if cfg.rate > 0 {
 		l.openLoop()
 	} else {
 		l.closedLoop()
+	}
+	if cfg.chaos {
+		close(chaosStop)
+		<-chaosDone // the drill revives every machine it downed before exiting
 	}
 	wall := time.Since(start).Seconds()
 
@@ -163,8 +197,96 @@ func run(cfg loadConfig) (summary, error) {
 	if cfg.rate > 0 {
 		sum.Mode = fmt.Sprintf("open (%.0f/min)", cfg.rate)
 	}
+	if cfg.chaos {
+		sum.Mode += " +chaos"
+		sum.ChaosKills = l.kills.Load()
+		sum.ChaosRevives = l.revives.Load()
+		sum.Retried = l.retried.Load()
+	}
 	sum.FinalGen = l.finalGeneration()
 	return sum, nil
+}
+
+// machineCount asks the daemon for its inventory size.
+func (l *loader) machineCount() int {
+	resp, err := l.client.Get(l.cfg.base + "/v1/machines")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var mvs []serve.MachineView
+	if err := json.NewDecoder(resp.Body).Decode(&mvs); err != nil {
+		return 0
+	}
+	return len(mvs)
+}
+
+// machineOp fires one lifecycle verb; true on 200.
+func (l *loader) machineOp(id int, op string) bool {
+	resp, err := l.client.Post(fmt.Sprintf("%s/v1/machines/%d/%s", l.cfg.base, id, op), "application/json", nil)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// chaosLoop alternates machine kills and revivals on a seeded schedule:
+// it kills random up machines until half the cluster is down, then starts
+// reviving, and always leaves the cluster fully healed on exit. A
+// single-machine cluster is left alone — there would be nowhere to
+// re-place the victims.
+func (l *loader) chaosLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	machines := l.machineCount()
+	if machines <= 1 {
+		return
+	}
+	rng := rand.New(rand.NewSource(l.cfg.seed + 31337))
+	down := map[int]bool{}
+	defer func() {
+		for m := range down {
+			if l.machineOp(m, "revive") {
+				l.revives.Add(1)
+			}
+		}
+	}()
+	step := func() {
+		if len(down)*2 >= machines {
+			// Half the cluster is out: heal a random victim.
+			victims := make([]int, 0, len(down))
+			for m := range down {
+				victims = append(victims, m)
+			}
+			sort.Ints(victims) // map order is random; keep the drill seeded
+			m := victims[rng.Intn(len(victims))]
+			if l.machineOp(m, "revive") {
+				l.revives.Add(1)
+				delete(down, m)
+			}
+			return
+		}
+		m := rng.Intn(machines)
+		if down[m] {
+			return
+		}
+		if l.machineOp(m, "kill") {
+			l.kills.Add(1)
+			down[m] = true
+		}
+	}
+	step() // strike immediately — short bursts must still see churn
+	tick := time.NewTicker(l.cfg.chaosEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			step()
+		}
+	}
 }
 
 // resolveApps takes the -apps mix, or asks the daemon what it serves.
@@ -293,11 +415,24 @@ func (l *loader) runTask(rng *rand.Rand) {
 	if l.cfg.drift > 0 && l.issued.Add(1) > int64(l.cfg.tasks/2) {
 		factor *= 1 + l.cfg.drift
 	}
-	obsBody := serve.Observation{
-		Runtime: rec.PredictedRuntime * factor,
-		IOPS:    rec.PredictedIOPS / factor,
-	}
-	if code, err := l.complete(rec.ID, obsBody); err != nil || code != http.StatusOK {
+	for {
+		obsBody := serve.Observation{
+			Runtime: rec.PredictedRuntime * factor,
+			IOPS:    rec.PredictedIOPS / factor,
+		}
+		code, err := l.complete(rec.ID, obsBody)
+		if err == nil && code == http.StatusOK {
+			break
+		}
+		// 409 under chaos: the task's machine was killed between placement
+		// and completion and the daemon re-queued it. Wait for the
+		// re-placement (new machine, fresh forecast) and complete it there.
+		if err == nil && code == http.StatusConflict && l.cfg.chaos && time.Now().Before(l.deadline) {
+			if rec = l.awaitPlacement(rec.ID); rec != nil {
+				l.retried.Add(1)
+				continue
+			}
+		}
 		l.failed.Add(1)
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"tracon/internal/fault"
 	"tracon/internal/model"
 	"tracon/internal/par"
 	"tracon/internal/sched"
@@ -50,6 +51,12 @@ type Env struct {
 	// run, keyed by arguments so each run records into its own tracer and
 	// exports stay identical across worker counts.
 	Trace TracerFactory
+
+	// Faults, when non-nil, supplies a fault-injection plan for every
+	// simulation the experiments launch. Same contract as Observe: keyed by
+	// arguments, never call order, so fault-injected sweeps stay identical
+	// across worker counts. Return nil to leave a given run fault-free.
+	Faults FaultFactory
 }
 
 // ObserverFactory builds the observer for one simulation run. kind names
@@ -61,6 +68,11 @@ type ObserverFactory func(kind, scheduler string, machines int, tasks []sched.Ta
 // TracerFactory builds the tracer for one simulation run; arguments as in
 // ObserverFactory.
 type TracerFactory func(kind, scheduler string, machines int, tasks []sched.Task) sim.Tracer
+
+// FaultFactory builds the fault-injection plan for one simulation run;
+// arguments as in ObserverFactory. Typically it filters one loaded plan to
+// the run's cluster size via Plan.ForMachines.
+type FaultFactory func(kind, scheduler string, machines int, tasks []sched.Task) *fault.Plan
 
 // observer resolves the factory for one run, nil-safe.
 func (e *Env) observer(kind, scheduler string, machines int, tasks []sched.Task) sim.Observer {
@@ -76,6 +88,14 @@ func (e *Env) tracer(kind, scheduler string, machines int, tasks []sched.Task) s
 		return nil
 	}
 	return e.Trace(kind, scheduler, machines, tasks)
+}
+
+// faults resolves the fault-plan factory for one run, nil-safe.
+func (e *Env) faults(kind, scheduler string, machines int, tasks []sched.Task) *fault.Plan {
+	if e.Faults == nil {
+		return nil
+	}
+	return e.Faults(kind, scheduler, machines, tasks)
 }
 
 // NewEnv measures, profiles and trains everything once, sequentially. With
@@ -253,6 +273,7 @@ func (e *Env) runStaticTagged(kind string, s sched.Scheduler, machines int, task
 		DropRecords: len(tasks) > 200000,
 		Observer:    e.observer(kind, s.Name(), machines, tasks),
 		Tracer:      e.tracer(kind, s.Name(), machines, tasks),
+		Faults:      e.faults(kind, s.Name(), machines, tasks),
 	})
 	if err != nil {
 		return nil, err
@@ -269,6 +290,7 @@ func (e *Env) runDynamic(s sched.Scheduler, machines int, tasks []sched.Task, ho
 		DropRecords: true,
 		Observer:    e.observer("dynamic", s.Name(), machines, tasks),
 		Tracer:      e.tracer("dynamic", s.Name(), machines, tasks),
+		Faults:      e.faults("dynamic", s.Name(), machines, tasks),
 	})
 	if err != nil {
 		return nil, err

@@ -63,6 +63,7 @@ func SpotCheck10k(e *Env, horizonHours float64) (*SpotCheckResult, error) {
 					DropRecords: true,
 					Observer:    e.observer("spotcheck", s.Name(), machines/groups, routed[g]),
 					Tracer:      e.tracer("spotcheck", s.Name(), machines/groups, routed[g]),
+					Faults:      e.faults("spotcheck", s.Name(), machines/groups, routed[g]),
 				})
 				if err != nil {
 					errs[g] = err

@@ -92,6 +92,7 @@ func storageRow(e *Env, dev xen.DiskParams) (StorageRow, error) {
 				// size repeat across devices, only the table differs.
 				Observer: e.observer("storage-"+dev.Name, s.Name(), 16, tasks),
 				Tracer:   e.tracer("storage-"+dev.Name, s.Name(), 16, tasks),
+				Faults:   e.faults("storage-"+dev.Name, s.Name(), 16, tasks),
 			})
 			if err != nil {
 				return nil, err

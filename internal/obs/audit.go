@@ -126,6 +126,25 @@ func (a *InvariantAuditor) scan(v sim.View, now float64) error {
 	freeSeen := 0
 	countsSeen := sched.Counts{}
 	for m := 0; m < machines; m++ {
+		if v.MachineDown(m) {
+			// A crashed machine must be fully evacuated: nothing running,
+			// nothing offered to the pool.
+			for s := 0; s < slotsPer; s++ {
+				if app, _, running := v.Slot(m, s); running {
+					if err := a.report(now, "fault-consistency",
+						"machine %d is down but slot %d runs %q", m, s, app); err != nil {
+						return err
+					}
+				}
+				if cat, free := v.PoolCategory(m, s); free {
+					if err := a.report(now, "fault-consistency",
+						"machine %d is down but the pool lists slot %d free (category %q)", m, s, cat); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
 		// Apps running on this machine, for category validation.
 		var neighbours []string
 		for s := 0; s < slotsPer; s++ {

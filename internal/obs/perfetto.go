@@ -145,6 +145,31 @@ func WritePerfetto(w io.Writer, run *RunTrace) error {
 				span(c.Machine, c.Slot, open, ev.T)
 				delete(openSegs, key)
 			}
+		case "fail", "timeout", "evict":
+			// The attempt ended without completing; close its open segment.
+			if f := ev.Fault; f != nil && f.Machine >= 0 {
+				machineMeta(f.Machine)
+				key := slotKey{f.Machine, f.Slot}
+				if open, ok := openSegs[key]; ok {
+					if ev.T > open.start {
+						span(f.Machine, f.Slot, open, ev.T)
+					}
+					delete(openSegs, key)
+				}
+				out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+					Name: ev.Kind, Cat: "fault", Ph: "i", TS: ev.T * usPerSec,
+					PID: f.Machine + 1, TID: f.Slot + 1, Scope: "t",
+					Args: map[string]interface{}{"task": f.Task, "attempt": f.Attempt},
+				})
+			}
+		case "machine_down", "machine_up":
+			if f := ev.Fault; f != nil && f.Machine >= 0 {
+				machineMeta(f.Machine)
+				out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+					Name: ev.Kind, Cat: "fault", Ph: "i", TS: ev.T * usPerSec,
+					PID: f.Machine + 1, TID: 1, Scope: "p",
+				})
+			}
 		case "decision":
 			d := ev.Decision
 			out.TraceEvents = append(out.TraceEvents, perfettoEvent{

@@ -120,7 +120,13 @@ func (s *SimStats) OnEvent(v sim.View, kind sim.EventKind, now float64) error {
 			s.span += dt
 		}
 	}
-	busy := v.TotalSlots() - v.FreeSlots()
+	// Crashed machines' slots are neither free nor busy; excluding them
+	// keeps utilization honest during downtime (DownMachines is zero in
+	// fault-free runs).
+	busy := v.TotalSlots() - v.FreeSlots() - v.DownMachines()*(v.TotalSlots()/v.Machines())
+	if busy < 0 {
+		busy = 0
+	}
 	q := v.Backlog()
 	s.prevTime, s.prevBusy, s.prevQueue, s.started = now, busy, q, true
 
@@ -226,6 +232,22 @@ type AppError struct {
 	MeanRealized  float64 `json:"mean_realized_s"`
 }
 
+// FaultStats is the exported fault-recovery summary of one run.
+type FaultStats struct {
+	// FailedAttempts, Timeouts and Evictions count attempts ended by
+	// probabilistic failure, per-attempt deadline and machine crash.
+	FailedAttempts int `json:"failed_attempts"`
+	Timeouts       int `json:"timeouts"`
+	Evictions      int `json:"evictions"`
+	// Retries counts re-placements scheduled; Lost counts tasks abandoned
+	// after exhausting their attempt budget.
+	Retries int `json:"retries"`
+	Lost    int `json:"lost"`
+	// MachineDowns and MachineUps count crash/recover transitions.
+	MachineDowns int `json:"machine_downs"`
+	MachineUps   int `json:"machine_ups"`
+}
+
 // RunStats is the exportable snapshot of one run. All fields are
 // deterministic for a fixed simulation except SchedWallMS, which Snapshot
 // omits unless asked for.
@@ -265,6 +287,10 @@ type RunStats struct {
 	PopsAny   int64 `json:"pops_any"`
 
 	PerApp []AppError `json:"per_app"`
+
+	// Faults summarizes fault-injection recovery; nil (and absent from the
+	// JSON) in fault-free runs, so existing exports are byte-unchanged.
+	Faults *FaultStats `json:"faults,omitempty"`
 
 	SchedCalls  int64 `json:"sched_calls"`
 	SchedPlaced int64 `json:"sched_placed"`
@@ -312,6 +338,15 @@ func (s *SimStats) Snapshot(includeWall bool) RunStats {
 		out.EnergyJ = round9(s.final.EnergyJ)
 		out.MeanRuntime = round9(s.final.MeanRuntime())
 		out.MeanWait = round9(s.final.MeanWait())
+		f := s.final
+		if f.FailedAttempts != 0 || f.Timeouts != 0 || f.Evictions != 0 ||
+			f.Retries != 0 || f.Lost != 0 || f.MachineDowns != 0 || f.MachineUps != 0 {
+			out.Faults = &FaultStats{
+				FailedAttempts: f.FailedAttempts, Timeouts: f.Timeouts,
+				Evictions: f.Evictions, Retries: f.Retries, Lost: f.Lost,
+				MachineDowns: f.MachineDowns, MachineUps: f.MachineUps,
+			}
+		}
 	}
 	apps := make([]string, 0, len(s.perApp))
 	for app := range s.perApp {

@@ -29,8 +29,13 @@ import (
 // — provided run labels are input-derived (see RunLabel) so each engine
 // run feeds its own Tracer.
 
-// TraceSchema versions the NDJSON stream.
-const TraceSchema = 1
+// TraceSchema versions the NDJSON stream. Schema 2 added the fault event
+// kinds (fail, timeout, evict, retry, lost, machine_down, machine_up);
+// ReadTraces still accepts schema-1 streams, which simply predate them.
+const TraceSchema = 2
+
+// minTraceSchema is the oldest schema ReadTraces accepts.
+const minTraceSchema = 1
 
 // DefaultTraceCap is the default ring capacity (events per run).
 const DefaultTraceCap = 1 << 16
@@ -44,7 +49,9 @@ type TraceEvent struct {
 	// T is the simulation time in seconds.
 	T float64 `json:"t"`
 	// Kind is one of arrival, enqueue, flush, decision, pop, place,
-	// segment, complete, done.
+	// segment, complete, done — or, in fault-injected runs, one of the
+	// fault kinds fail, timeout, evict, retry, lost, machine_down,
+	// machine_up (all carried in the Fault payload).
 	Kind string `json:"k"`
 
 	Arrival  *ArrivalInfo  `json:"arrival,omitempty"`
@@ -54,6 +61,7 @@ type TraceEvent struct {
 	Place    *PlaceInfo    `json:"place,omitempty"`
 	Segment  *SegmentInfo  `json:"segment,omitempty"`
 	Complete *CompleteInfo `json:"complete,omitempty"`
+	Fault    *FaultInfo    `json:"fault,omitempty"`
 	Done     *DoneInfo     `json:"done,omitempty"`
 }
 
@@ -132,6 +140,20 @@ type CompleteInfo struct {
 	Wait      float64 `json:"wait"`
 	Predicted float64 `json:"pred"`
 	Residual  float64 `json:"resid"`
+}
+
+// FaultInfo records one fault-injection transition. Kind on the enclosing
+// TraceEvent names the transition; machine transitions carry Slot -1 and no
+// task, retry/lost carry Machine and Slot -1.
+type FaultInfo struct {
+	Machine int    `json:"m"`
+	Slot    int    `json:"s"`
+	Task    int64  `json:"task,omitempty"`
+	App     string `json:"app,omitempty"`
+	// Attempt is the task's placement attempts made so far.
+	Attempt int `json:"attempt,omitempty"`
+	// Delay is the retry backoff in seconds (retry only).
+	Delay float64 `json:"delay,omitempty"`
 }
 
 // DoneInfo records the end of a run.
@@ -272,6 +294,14 @@ func (t *Tracer) TraceComplete(now float64, c sim.Completion) {
 	}})
 }
 
+// TraceFault implements sim.Tracer.
+func (t *Tracer) TraceFault(now float64, f sim.FaultInfo) {
+	t.record(TraceEvent{T: now, Kind: f.Kind, Fault: &FaultInfo{
+		Machine: f.Machine, Slot: f.Slot, Task: f.TaskID, App: f.App,
+		Attempt: f.Attempt, Delay: f.Delay,
+	}})
+}
+
 // TraceDone implements sim.Tracer.
 func (t *Tracer) TraceDone(now float64, res *sim.Results) {
 	t.record(TraceEvent{T: now, Kind: "done", Done: &DoneInfo{
@@ -352,7 +382,7 @@ func ReadTraces(r io.Reader) ([]*RunTrace, error) {
 			if err := json.Unmarshal(raw, &hdr); err != nil {
 				return nil, fmt.Errorf("obs: trace header line %d: %w", line, err)
 			}
-			if hdr.Schema != TraceSchema {
+			if hdr.Schema < minTraceSchema || hdr.Schema > TraceSchema {
 				return nil, fmt.Errorf("obs: trace line %d: unsupported schema %d", line, hdr.Schema)
 			}
 			cur = &RunTrace{

@@ -338,6 +338,82 @@ func (r *RunTrace) CriticalPath() []CPHop {
 	return rev
 }
 
+// MachineDowntime is one machine's aggregate crash record.
+type MachineDowntime struct {
+	Machine int
+	// Downs counts crash transitions; Downtime is the wall-seconds spent
+	// down (an unrecovered crash is closed at the trace's last event time).
+	Downs    int
+	Downtime float64
+}
+
+// FaultReport summarizes a fault-injected run's recovery behaviour.
+type FaultReport struct {
+	// Counts is events per fault kind (fail, timeout, evict, retry, lost,
+	// machine_down, machine_up), sorted by kind.
+	Counts map[string]int
+	// Downtimes is the per-machine crash record, sorted by machine.
+	Downtimes []MachineDowntime
+	// RetriedTasks and LostTasks count distinct tasks that were retried at
+	// least once and abandoned, respectively.
+	RetriedTasks int
+	LostTasks    int
+}
+
+// Empty reports that the trace holds no fault events at all.
+func (f *FaultReport) Empty() bool { return len(f.Counts) == 0 }
+
+// Faults reconstructs the run's fault-recovery summary from its fault
+// events (empty for fault-free traces).
+func (r *RunTrace) Faults() *FaultReport {
+	rep := &FaultReport{Counts: map[string]int{}}
+	downAt := map[int]float64{}
+	acc := map[int]*MachineDowntime{}
+	retried := map[int64]bool{}
+	lost := map[int64]bool{}
+	var lastT float64
+	for _, ev := range r.Events {
+		lastT = ev.T
+		if ev.Fault == nil {
+			continue
+		}
+		rep.Counts[ev.Kind]++
+		switch ev.Kind {
+		case "machine_down":
+			m := ev.Fault.Machine
+			d, ok := acc[m]
+			if !ok {
+				d = &MachineDowntime{Machine: m}
+				acc[m] = d
+			}
+			d.Downs++
+			downAt[m] = ev.T
+		case "machine_up":
+			m := ev.Fault.Machine
+			if at, ok := downAt[m]; ok {
+				acc[m].Downtime += ev.T - at
+				delete(downAt, m)
+			}
+		case "retry":
+			retried[ev.Fault.Task] = true
+		case "lost":
+			lost[ev.Fault.Task] = true
+		}
+	}
+	for m, at := range downAt {
+		acc[m].Downtime += lastT - at
+	}
+	for _, d := range acc {
+		rep.Downtimes = append(rep.Downtimes, *d)
+	}
+	sort.Slice(rep.Downtimes, func(i, j int) bool {
+		return rep.Downtimes[i].Machine < rep.Downtimes[j].Machine
+	})
+	rep.RetriedTasks = len(retried)
+	rep.LostTasks = len(lost)
+	return rep
+}
+
 // Summarize writes the CLI's full human-readable analysis of one run.
 func (r *RunTrace) Summarize(w io.Writer, topK int) {
 	fmt.Fprintf(w, "run %s\n", r.Label)
@@ -392,6 +468,25 @@ func (r *RunTrace) Summarize(w io.Writer, topK int) {
 		}
 		fmt.Fprintf(w, "  (… %d more machines; totals: busy %.1f, contended %.1f, lost %.1f)\n",
 			len(tls)-len(shown), busy, cont, lost)
+	}
+
+	if faults := r.Faults(); !faults.Empty() {
+		fmt.Fprintf(w, "\nfault injection & recovery:\n")
+		kinds := make([]string, 0, len(faults.Counts))
+		for k := range faults.Counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "  %-14s %6d\n", k, faults.Counts[k])
+		}
+		if len(faults.Downtimes) > 0 {
+			fmt.Fprintf(w, "  machine downtime:\n")
+			for _, d := range faults.Downtimes {
+				fmt.Fprintf(w, "    machine %-4d %d crash(es), %.1fs down\n", d.Machine, d.Downs, d.Downtime)
+			}
+		}
+		fmt.Fprintf(w, "  tasks retried: %d, tasks lost: %d\n", faults.RetriedTasks, faults.LostTasks)
 	}
 
 	cp := r.CriticalPath()

@@ -133,6 +133,21 @@ func (r *refPool) Pop(category string) (int, int, error) {
 	return bestKey[0], bestKey[1], nil
 }
 
+// oldestFree mirrors FreePool.OldestFree on the reference: the slot freed
+// the longest ago, index tie-break.
+func (r *refPool) oldestFree() (int, int, bool) {
+	bestKey := [2]int{-1, -1}
+	found := false
+	var bestFreed int64
+	for key, st := range r.free {
+		if !found || st.freedAt < bestFreed ||
+			(st.freedAt == bestFreed && (key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]))) {
+			bestKey, bestFreed, found = key, st.freedAt, true
+		}
+	}
+	return bestKey[0], bestKey[1], found
+}
+
 // TestFreePoolMatchesReferenceRandomized drives FreePool and the naive
 // reference through identical random SetFree/SetBusy/Pop sequences and
 // requires identical observable behaviour at every step. Fast enough for
@@ -183,6 +198,71 @@ func TestFreePoolMatchesReferenceRandomized(t *testing.T) {
 				if got[c] != n {
 					t.Fatalf("seed %d op %d counts %v vs reference %v", seed, op, got, want)
 				}
+			}
+			if p.FreeSlots() != len(ref.free) {
+				t.Fatalf("seed %d op %d FreeSlots %d vs reference %d", seed, op, p.FreeSlots(), len(ref.free))
+			}
+		}
+	}
+}
+
+// TestFreePoolCrashRecoverMatchesReference adds the fault-injection
+// lifecycle to the randomized reference check: machine crashes (both slots
+// forced busy at once, as the engine evacuates a downed machine) and
+// recoveries (both slots freed Empty-category). A crash-evicted slot that
+// recovers must re-enter the FIFO at a fresh generation — it becomes the
+// NEWEST free slot, never inheriting its pre-crash position — which the
+// OldestFree cross-check after every operation verifies.
+func TestFreePoolCrashRecoverMatchesReference(t *testing.T) {
+	categories := []string{EmptyCategory, "io", "cpu", "mid"}
+	for _, seed := range []int64{3, 11, 99, 4242} {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewFreePool()
+		ref := newRefPool()
+		const machines, slots = 5, 2
+		for op := 0; op < 4000; op++ {
+			m, s := rng.Intn(machines), rng.Intn(slots)
+			switch rng.Intn(6) {
+			case 0, 1:
+				cat := categories[rng.Intn(len(categories))]
+				p.SetFree(m, s, cat)
+				ref.SetFree(m, s, cat)
+			case 2:
+				p.SetBusy(m, s)
+				ref.SetBusy(m, s)
+			case 3:
+				cat := AnyCategory
+				if rng.Intn(2) == 0 {
+					cat = categories[rng.Intn(len(categories))]
+				}
+				gm, gs, gerr := p.Pop(cat)
+				wm, ws, werr := ref.Pop(cat)
+				if (gerr != nil) != (werr != nil) {
+					t.Fatalf("seed %d op %d Pop(%q): err %v vs reference %v", seed, op, cat, gerr, werr)
+				}
+				if gerr == nil && (gm != wm || gs != ws) {
+					t.Fatalf("seed %d op %d Pop(%q) = %d,%d; reference %d,%d", seed, op, cat, gm, gs, wm, ws)
+				}
+			case 4:
+				// Crash: the engine force-busies every slot of the machine
+				// (SetBusy is a no-op on slots already handed out).
+				for cs := 0; cs < slots; cs++ {
+					p.SetBusy(m, cs)
+					ref.SetBusy(m, cs)
+				}
+			case 5:
+				// Recovery: both slots return empty-category, stamped as the
+				// newest entries in freed order.
+				for cs := 0; cs < slots; cs++ {
+					p.SetFree(m, cs, EmptyCategory)
+					ref.SetFree(m, cs, EmptyCategory)
+				}
+			}
+			gm, gs, gok := p.OldestFree()
+			wm, ws, wok := ref.oldestFree()
+			if gok != wok || (gok && (gm != wm || gs != ws)) {
+				t.Fatalf("seed %d op %d OldestFree = %d,%d,%v; reference %d,%d,%v",
+					seed, op, gm, gs, gok, wm, ws, wok)
 			}
 			if p.FreeSlots() != len(ref.free) {
 				t.Fatalf("seed %d op %d FreeSlots %d vs reference %d", seed, op, p.FreeSlots(), len(ref.free))

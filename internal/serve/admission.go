@@ -55,5 +55,30 @@ func (a *Admission) QueueFull(depth int) bool {
 	return full
 }
 
+// QueueFullScaled is QueueFull with the bound scaled to the fraction of
+// the inventory that is actually schedulable: a cluster serving at half
+// capacity queues half as much before shedding, and one with no up
+// machines accepts nothing. The bound never scales below one slot's worth
+// of queue while any capacity remains, and a disabled bound (maxQueue <= 0)
+// stays disabled except for the zero-capacity cutoff.
+func (a *Admission) QueueFullScaled(depth, available, total int) bool {
+	if available <= 0 {
+		a.rejected.Add(1)
+		return true
+	}
+	if a.maxQueue <= 0 || total <= 0 {
+		return false
+	}
+	bound := a.maxQueue * available / total
+	if bound < 1 {
+		bound = 1
+	}
+	full := depth >= bound
+	if full {
+		a.rejected.Add(1)
+	}
+	return full
+}
+
 // Rejected counts admissions refused (inflight and queue-depth combined).
 func (a *Admission) Rejected() uint64 { return a.rejected.Load() }

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"tracon/internal/model"
+)
+
+// fuzzMachines is the cluster size the fuzzer drives.
+const fuzzMachines = 3
+
+// FuzzPlacerBacklog interprets the fuzz input as an operation stream
+// against a live Placer — submits, completions, machine kills, revivals,
+// drains and undrains in arbitrary order — and checks after every single
+// operation that CheckInvariants stays silent, then at the end that no
+// task was lost or double-placed: every submission is still queued,
+// placed on a unique slot, or completed.
+//
+// Operation encoding: op%8 selects the verb (0-2 submit, 3 complete the
+// oldest placed task, 4 kill, 5 revive, 6 drain, 7 undrain); op/8 selects
+// the application (submits) or machine (lifecycle verbs). Lifecycle verbs
+// that are invalid in the machine's current state are expected no-ops
+// (ErrBadTransition); anything else is a bug.
+func FuzzPlacerBacklog(f *testing.F) {
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00\x03\x03\x03"))     // fill, then complete
+	f.Add([]byte("\x00\x01\x02\x00\x04\x05\x00\x03"))         // kill 0 mid-load, revive
+	f.Add([]byte("\x00\x0e\x00\x00\x0f\x03"))                 // drain 1, fill, undrain
+	f.Add([]byte("\x04\x0c\x14\x00\x00\x05\x0d\x15\x03\x03")) // kill everything, revive everything
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512] // bound one case's work; longer inputs add nothing
+		}
+		s := newTestServer(t, model.NLM, Config{Machines: fuzzMachines, Policy: "mios"})
+		p := s.Placer()
+		apps := testLibrary(t, model.NLM).Apps()
+
+		var ids []string
+		completed := 0
+		for i, op := range ops {
+			verb, arg := int(op)%8, int(op)/8
+			switch verb {
+			case 0, 1, 2:
+				rec, err := p.Submit(apps[arg%len(apps)])
+				if err != nil {
+					t.Fatalf("op %d: submit: %v", i, err)
+				}
+				ids = append(ids, rec.ID)
+			case 3:
+				for _, id := range ids {
+					rec, ok := p.Get(id)
+					if ok && rec.Status == StatusPlaced {
+						if _, err := p.Complete(id); err != nil {
+							t.Fatalf("op %d: complete %q: %v", i, id, err)
+						}
+						completed++
+						break
+					}
+				}
+			case 4:
+				if _, err := p.Kill(arg % fuzzMachines); err != nil && !errors.Is(err, ErrBadTransition) {
+					t.Fatalf("op %d: kill: %v", i, err)
+				}
+			case 5:
+				if err := p.Revive(arg % fuzzMachines); err != nil && !errors.Is(err, ErrBadTransition) {
+					t.Fatalf("op %d: revive: %v", i, err)
+				}
+			case 6:
+				if err := p.Drain(arg % fuzzMachines); err != nil && !errors.Is(err, ErrBadTransition) {
+					t.Fatalf("op %d: drain: %v", i, err)
+				}
+			case 7:
+				if err := p.Undrain(arg % fuzzMachines); err != nil && !errors.Is(err, ErrBadTransition) {
+					t.Fatalf("op %d: undrain: %v", i, err)
+				}
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("op %d (byte %#x): %v", i, op, err)
+			}
+		}
+
+		// Conservation: every submitted task is accounted for exactly once,
+		// and no two placed tasks share a slot.
+		queued, placed := 0, 0
+		slots := map[[2]int]string{}
+		for _, id := range ids {
+			rec, ok := p.Get(id)
+			if !ok {
+				t.Fatalf("task %q vanished", id)
+			}
+			switch rec.Status {
+			case StatusQueued:
+				queued++
+			case StatusPlaced:
+				placed++
+				key := [2]int{rec.Machine, rec.Slot}
+				if prev, dup := slots[key]; dup {
+					t.Fatalf("slot %v double-placed: %s and %s", key, prev, id)
+				}
+				slots[key] = id
+			case StatusCompleted:
+				// Counted when the completion happened.
+			default:
+				t.Fatalf("task %q in unexpected state: %+v", id, rec)
+			}
+		}
+		if queued+placed+completed != len(ids) {
+			t.Fatalf("conservation: %d queued + %d placed + %d completed != %d submitted",
+				queued, placed, completed, len(ids))
+		}
+	})
+}

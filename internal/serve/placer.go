@@ -17,6 +17,14 @@ var ErrUnknownPlacement = errors.New("serve: unknown placement")
 // occupying a slot (still queued, already completed, or failed).
 var ErrNotPlaced = errors.New("serve: placement is not in the placed state")
 
+// ErrUnknownMachine is returned for a machine index outside the inventory.
+var ErrUnknownMachine = errors.New("serve: unknown machine")
+
+// ErrBadTransition is returned for a machine lifecycle operation that is
+// invalid in the machine's current state (draining a down machine, reviving
+// one that never died, ...).
+var ErrBadTransition = errors.New("serve: invalid machine state transition")
+
 // Placement status values.
 const (
 	StatusQueued    = "queued"
@@ -46,6 +54,9 @@ type Placement struct {
 	Generation uint64 `json:"generation"`
 	// Error carries the failure reason for StatusFailed.
 	Error string `json:"error,omitempty"`
+	// Retries counts how many times the task was re-queued after losing its
+	// machine (kill re-placement).
+	Retries int `json:"retries,omitempty"`
 
 	// bg is the neighbour's characteristic vector at placement time, kept
 	// for the retraining sample the completion observation turns into.
@@ -65,9 +76,20 @@ type slot struct {
 	app    string
 }
 
+// Machine lifecycle states. Up machines accept placements; drained
+// (cordoned) machines finish their in-flight tasks but take no new ones;
+// down (killed) machines have lost their in-flight tasks, which the placer
+// re-queues for placement elsewhere.
+const (
+	MachineUp      = "up"
+	MachineDrained = "drained"
+	MachineDown    = "down"
+)
+
 // machine is one physical host: two VMs, per the testbed model.
 type machine struct {
 	slots [2]slot
+	state string
 }
 
 // SlotsPerMachine mirrors the two-VM machine model of the simulator.
@@ -107,9 +129,13 @@ func NewPlacer(models *ModelSet, machines, completedCap int) (*Placer, error) {
 	if completedCap <= 0 {
 		completedCap = DefaultCompletedCap
 	}
+	inventory := make([]machine, machines)
+	for i := range inventory {
+		inventory[i].state = MachineUp
+	}
 	return &Placer{
 		models:     models,
-		machines:   make([]machine, machines),
+		machines:   inventory,
 		placements: map[string]*Placement{},
 		doneCap:    completedCap,
 	}, nil
@@ -197,11 +223,118 @@ func (p *Placer) QueueDepth() int {
 	return len(p.queue)
 }
 
-// FreeSlots returns the number of idle VMs.
+// FreeSlots returns the number of idle VMs on schedulable (up) machines.
 func (p *Placer) FreeSlots() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return SlotsPerMachine*len(p.machines) - p.placedCount
+	return p.freeSlotsLocked()
+}
+
+func (p *Placer) freeSlotsLocked() int {
+	free := 0
+	for i := range p.machines {
+		if p.machines[i].state != MachineUp {
+			continue
+		}
+		for _, s := range p.machines[i].slots {
+			if s.taskID == "" {
+				free++
+			}
+		}
+	}
+	return free
+}
+
+// Capacity reports the schedulable slot count (VMs on up machines) against
+// the full inventory; admission control scales its queue bound by the
+// ratio, so a cluster that lost machines sheds load instead of queueing
+// work it cannot place.
+func (p *Placer) Capacity() (available, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.machines {
+		if p.machines[i].state == MachineUp {
+			available += SlotsPerMachine
+		}
+	}
+	return available, SlotsPerMachine * len(p.machines)
+}
+
+// Drain cordons an up machine: its in-flight tasks finish, but it accepts
+// no new placements until Undrain.
+func (p *Placer) Drain(id int) error {
+	return p.transition(id, MachineUp, MachineDrained, false)
+}
+
+// Undrain returns a drained machine to service and re-runs the scheduler —
+// the restored capacity may immediately absorb backlog.
+func (p *Placer) Undrain(id int) error {
+	return p.transition(id, MachineDrained, MachineUp, true)
+}
+
+// Revive returns a down machine to service and re-runs the scheduler.
+func (p *Placer) Revive(id int) error {
+	return p.transition(id, MachineDown, MachineUp, true)
+}
+
+// transition moves machine id from one state to another, optionally
+// draining the backlog onto any capacity the transition restored.
+func (p *Placer) transition(id int, from, to string, redrain bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.machines) {
+		return fmt.Errorf("%w: %d", ErrUnknownMachine, id)
+	}
+	m := &p.machines[id]
+	if m.state != from {
+		return fmt.Errorf("%w: machine %d is %s, not %s", ErrBadTransition, id, m.state, from)
+	}
+	m.state = to
+	if redrain {
+		return p.drainLocked()
+	}
+	return nil
+}
+
+// Kill marks an up or drained machine down and re-queues its in-flight
+// tasks at the FRONT of the backlog in slot order — they were admitted
+// before anything still queued, and FIFO fairness survives the failure.
+// It returns the number of tasks re-queued.
+func (p *Placer) Kill(id int) (requeued int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.machines) {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownMachine, id)
+	}
+	m := &p.machines[id]
+	if m.state == MachineDown {
+		return 0, fmt.Errorf("%w: machine %d is already down", ErrBadTransition, id)
+	}
+	m.state = MachineDown
+	var lost []string
+	for si := range m.slots {
+		if tid := m.slots[si].taskID; tid != "" {
+			lost = append(lost, tid)
+			m.slots[si] = slot{}
+			p.placedCount--
+		}
+	}
+	for _, tid := range lost {
+		rec := p.placements[tid]
+		rec.Status = StatusQueued
+		rec.Machine = -1
+		rec.Slot = -1
+		rec.Neighbour = ""
+		rec.PredictedRuntime = 0
+		rec.PredictedIOPS = 0
+		rec.bg = nil
+		rec.Retries++
+	}
+	p.queue = append(lost, p.queue...)
+	if err := p.drainLocked(); err != nil {
+		return len(lost), err
+	}
+	return len(lost), nil
 }
 
 // SlotView is the JSON shape of one VM in GET /v1/machines.
@@ -214,6 +347,7 @@ type SlotView struct {
 // MachineView is the JSON shape of one machine.
 type MachineView struct {
 	ID    int        `json:"id"`
+	State string     `json:"state"` // "up" | "drained" | "down"
 	Slots []SlotView `json:"slots"`
 }
 
@@ -223,7 +357,7 @@ func (p *Placer) Machines() []MachineView {
 	defer p.mu.Unlock()
 	out := make([]MachineView, len(p.machines))
 	for i := range p.machines {
-		mv := MachineView{ID: i, Slots: make([]SlotView, SlotsPerMachine)}
+		mv := MachineView{ID: i, State: p.machines[i].state, Slots: make([]SlotView, SlotsPerMachine)}
 		for j, s := range p.machines[i].slots {
 			if s.taskID == "" {
 				mv.Slots[j] = SlotView{State: "free"}
@@ -252,6 +386,9 @@ func (p *Placer) finishLocked(id string) {
 func (p *Placer) countsLocked() sched.Counts {
 	counts := sched.Counts{}
 	for i := range p.machines {
+		if p.machines[i].state != MachineUp {
+			continue // cordoned and dead machines offer no slots
+		}
 		s0, s1 := p.machines[i].slots[0], p.machines[i].slots[1]
 		switch {
 		case s0.taskID == "" && s1.taskID == "":
@@ -286,8 +423,7 @@ func (p *Placer) drainLocked() error {
 	p.queue = kept
 
 	for len(p.queue) > 0 {
-		free := SlotsPerMachine*len(p.machines) - p.placedCount
-		if free == 0 {
+		if p.freeSlotsLocked() == 0 {
 			return nil
 		}
 		n := view.Scheduler.BatchSize()
@@ -298,7 +434,15 @@ func (p *Placer) drainLocked() error {
 		for i, id := range p.queue[:n] {
 			batch[i] = sched.Task{ID: int64(i), App: p.placements[id].App}
 		}
-		load := sched.Load{TotalSlots: SlotsPerMachine * len(p.machines), Queued: len(p.queue)}
+		// TotalSlots reflects schedulable capacity: lost machines shrink the
+		// utilization the adaptive policies see, exactly as in the simulator.
+		totalUp := 0
+		for i := range p.machines {
+			if p.machines[i].state == MachineUp {
+				totalUp += SlotsPerMachine
+			}
+		}
+		load := sched.Load{TotalSlots: totalUp, Queued: len(p.queue)}
 		placements, err := view.Scheduler.Schedule(batch, p.countsLocked(), load)
 		if err != nil {
 			return fmt.Errorf("serve: scheduling: %w", err)
@@ -369,6 +513,9 @@ func (p *Placer) executeLocked(rec *Placement, category string, view ModelView) 
 // and an application category a half-busy machine whose occupant runs it.
 func (p *Placer) findSlotLocked(category string) (mi, si int) {
 	for i := range p.machines {
+		if p.machines[i].state != MachineUp {
+			continue
+		}
 		s0free := p.machines[i].slots[0].taskID == ""
 		s1free := p.machines[i].slots[1].taskID == ""
 		switch category {
@@ -409,9 +556,18 @@ func (p *Placer) CheckInvariants() error {
 	defer p.mu.Unlock()
 	busy := 0
 	for i := range p.machines {
+		switch p.machines[i].state {
+		case MachineUp, MachineDrained, MachineDown:
+		default:
+			return fmt.Errorf("serve: machine %d in unknown state %q", i, p.machines[i].state)
+		}
 		for j, s := range p.machines[i].slots {
 			if s.taskID == "" {
 				continue
+			}
+			// A dead machine must have been fully evacuated by Kill.
+			if p.machines[i].state == MachineDown {
+				return fmt.Errorf("serve: down machine %d still holds task %q in slot %d", i, s.taskID, j)
 			}
 			busy++
 			rec, ok := p.placements[s.taskID]

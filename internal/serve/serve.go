@@ -8,6 +8,10 @@
 //	GET  /v1/placements/{id}          placement lifecycle record
 //	POST /v1/placements/{id}/complete free the slot, report the outcome
 //	GET  /v1/machines                 inventory with per-VM occupancy
+//	POST /v1/machines/{id}/drain      cordon: finish in-flight, accept no new
+//	POST /v1/machines/{id}/undrain    return a cordoned machine to service
+//	POST /v1/machines/{id}/kill       fail the machine; re-queue its tasks
+//	POST /v1/machines/{id}/revive     return a dead machine to service
 //	GET  /v1/models                   served family, generation, cache stats
 //	POST /v1/models/swap              force a retrain-and-swap
 //	GET  /healthz                     liveness + census
@@ -28,6 +32,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path"
+	"strconv"
 	"time"
 
 	"tracon/internal/model"
@@ -145,6 +151,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/placements/{id}", s.timed(s.handleGetPlacement))
 	mux.HandleFunc("POST /v1/placements/{id}/complete", s.timed(s.handleComplete))
 	mux.HandleFunc("GET /v1/machines", s.timed(s.handleMachines))
+	mux.HandleFunc("POST /v1/machines/{id}/drain", s.timed(s.handleMachineOp))
+	mux.HandleFunc("POST /v1/machines/{id}/undrain", s.timed(s.handleMachineOp))
+	mux.HandleFunc("POST /v1/machines/{id}/kill", s.timed(s.handleMachineOp))
+	mux.HandleFunc("POST /v1/machines/{id}/revive", s.timed(s.handleMachineOp))
 	mux.HandleFunc("GET /v1/models", s.timed(s.handleModels))
 	mux.HandleFunc("POST /v1/models/swap", s.timed(s.handleSwap))
 	mux.HandleFunc("GET /healthz", s.timed(s.handleHealthz))
@@ -179,12 +189,20 @@ type errorResponse struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.admission.TryAcquire() {
-		s.reject(w, "too many in-flight submissions")
+		s.reject(w, 1, "too many in-flight submissions")
 		return
 	}
 	defer s.admission.Release()
-	if s.admission.QueueFull(s.placer.QueueDepth()) {
-		s.reject(w, "placement queue is full")
+	// The queue bound scales with schedulable capacity: a degraded cluster
+	// sheds load early, and the Retry-After hint stretches as capacity
+	// shrinks so clients back off harder the worse things are.
+	available, total := s.placer.Capacity()
+	if s.admission.QueueFullScaled(s.placer.QueueDepth(), available, total) {
+		reason := "placement queue is full"
+		if available == 0 {
+			reason = "no machines in service"
+		}
+		s.reject(w, retryAfter(available, total), reason)
 		return
 	}
 	var req submitRequest
@@ -255,6 +273,52 @@ func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.placer.Machines())
 }
 
+// machineOpResponse is the body of every POST /v1/machines/{id}/* verb.
+type machineOpResponse struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	// Requeued counts in-flight tasks sent back to the queue (kill only).
+	Requeued int `json:"requeued,omitempty"`
+}
+
+func (s *Server) handleMachineOp(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad machine id %q", r.PathValue("id"))})
+		return
+	}
+	op := path.Base(r.URL.Path)
+	resp := machineOpResponse{ID: id}
+	switch op {
+	case "drain":
+		err = s.placer.Drain(id)
+		resp.State = MachineDrained
+	case "undrain":
+		err = s.placer.Undrain(id)
+		resp.State = MachineUp
+	case "kill":
+		resp.Requeued, err = s.placer.Kill(id)
+		resp.State = MachineDown
+	case "revive":
+		err = s.placer.Revive(id)
+		resp.State = MachineUp
+	}
+	switch {
+	case errors.Is(err, ErrUnknownMachine):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrBadTransition):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.reg.Counter("serve.machine_" + op).Inc()
+	s.observeGauges()
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // modelsResponse is the GET /v1/models body.
 type modelsResponse struct {
 	Kind       string      `json:"kind"`
@@ -298,6 +362,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"apps":        view.Lib.Apps(),
 		"machines":    len(s.placer.machines),
 		"free_slots":  s.placer.FreeSlots(),
+		"up_machines": upMachines(s.placer),
 		"queue_depth": s.placer.QueueDepth(),
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"latency":     s.latency.Latency(),
@@ -313,6 +378,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) observeGauges() {
 	s.reg.Gauge("serve.queue_depth").Set(float64(s.placer.QueueDepth()))
 	s.reg.Gauge("serve.free_slots").Set(float64(s.placer.FreeSlots()))
+	available, total := s.placer.Capacity()
+	s.reg.Gauge("serve.available_slots").Set(float64(available))
+	s.reg.Gauge("serve.total_slots").Set(float64(total))
 	s.reg.Gauge("serve.generation").Set(float64(s.models.Generation()))
 	s.reg.Gauge("serve.model_swaps").Set(float64(s.models.Swaps()))
 	s.reg.Gauge("serve.drift_fires").Set(float64(s.swapper.DriftFires()))
@@ -328,10 +396,27 @@ func (s *Server) observeGauges() {
 }
 
 // reject answers 429 with a retry hint.
-func (s *Server) reject(w http.ResponseWriter, reason string) {
-	w.Header().Set("Retry-After", "1")
+func (s *Server) reject(w http.ResponseWriter, after int, reason string) {
+	w.Header().Set("Retry-After", strconv.Itoa(after))
 	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: reason})
 	s.reg.Counter("serve.tasks_rejected").Inc()
+}
+
+// retryAfterCap bounds the Retry-After hint (seconds).
+const retryAfterCap = 30
+
+// retryAfter turns the capacity ratio into a backoff hint: 1s at full
+// capacity, total/available seconds (rounded up) as capacity shrinks,
+// capped — a zero-capacity cluster hints the cap rather than infinity.
+func retryAfter(available, total int) int {
+	if available <= 0 {
+		return retryAfterCap
+	}
+	after := (total + available - 1) / available
+	if after > retryAfterCap {
+		after = retryAfterCap
+	}
+	return after
 }
 
 // placementError maps scoring-path failures onto HTTP statuses using the
@@ -348,6 +433,12 @@ func (s *Server) placementError(w http.ResponseWriter, err error) {
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	}
+}
+
+// upMachines counts the machines currently in service.
+func upMachines(p *Placer) int {
+	available, _ := p.Capacity()
+	return available / SlotsPerMachine
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"tracon/internal/fault"
 	"tracon/internal/sched"
 )
 
@@ -37,6 +38,12 @@ type Config struct {
 	// (see trace.go). Same contract as Observer: nil costs one branch per
 	// emission point, and tracers must not perturb the run.
 	Tracer Tracer
+	// Faults, when non-nil, injects the plan's deterministic failures into
+	// the run (see fault.go): machine crash/recover windows, per-slot
+	// slowdowns, probabilistic attempt failures, per-attempt timeouts, and
+	// bounded retry-with-backoff. nil — and a plan that injects nothing —
+	// leaves the simulation byte-identical to a fault-free run.
+	Faults *fault.Plan
 }
 
 // vmsPerMachine is fixed at the paper's configuration ("each physical
@@ -49,6 +56,11 @@ const (
 	evArrival eventKind = iota
 	evCompletion
 	evFlush
+	evMachineDown
+	evMachineUp
+	evSlowChange
+	evRetry
+	evTimeout
 )
 
 type event struct {
@@ -87,6 +99,7 @@ type runningTask struct {
 	lastUpdate float64
 	start      float64
 	gen        int64
+	placeGen   int64   // placement generation guarding timeout events (faults)
 	predicted  float64 // runtime forecast frozen at placement (observers)
 	rawLeft    float64 // last pre-clamp workLeft from settle (observers)
 }
@@ -134,6 +147,22 @@ type Results struct {
 	// LastFinish is the completion time of the last finished task — the
 	// makespan of a workflow run that starts at time zero.
 	LastFinish float64
+
+	// Fault-recovery accounting; all fields stay zero in fault-free runs.
+
+	// FailedAttempts counts attempts that failed probabilistically.
+	FailedAttempts int
+	// Timeouts counts attempts evicted at their per-attempt deadline.
+	Timeouts int
+	// Evictions counts attempts orphaned by a machine crash.
+	Evictions int
+	// Retries counts re-placements scheduled after failed attempts.
+	Retries int
+	// Lost counts tasks abandoned after exhausting their attempt budget.
+	Lost int
+	// MachineDowns and MachineUps count machine crash/recover transitions.
+	MachineDowns int
+	MachineUps   int
 }
 
 // CompletedTasks returns the completed-task count as a float64. This is
@@ -190,6 +219,10 @@ type Engine struct {
 	// behaviour; the flush-equivalence test uses it to prove the suppressed
 	// schedule is byte-identical to the naive one.
 	naiveFlush bool
+	// Fault-injection state (allocated only when Config.Faults is set).
+	down      []bool        // machine index → currently crashed
+	downCount int           // number of crashed machines
+	attempts  map[int64]int // task ID → placement attempts made so far
 }
 
 // NewEngine validates the config and prepares an idle cluster.
@@ -220,6 +253,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 			e.pool.SetFree(m, s, sched.EmptyCategory)
 		}
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Machines, vmsPerMachine); err != nil {
+			return nil, err
+		}
+		e.down = make([]bool, cfg.Machines)
+		e.attempts = map[int64]int{}
+	}
 	return e, nil
 }
 
@@ -238,6 +278,21 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 		return nil, err
 	}
 	e.results.Submitted = len(arrivals)
+	if e.cfg.Faults != nil {
+		// Fault boundaries enter the heap after all arrivals, in Timeline's
+		// deterministic order, so their sequence numbers — and therefore
+		// same-instant tie-breaks — are pure functions of the inputs.
+		for _, b := range e.cfg.Faults.Timeline() {
+			switch b.Kind {
+			case fault.BoundaryDown:
+				e.push(event{time: b.T, kind: evMachineDown, machine: b.Machine, slot: -1})
+			case fault.BoundaryUp:
+				e.push(event{time: b.T, kind: evMachineUp, machine: b.Machine, slot: -1})
+			default:
+				e.push(event{time: b.T, kind: evSlowChange, machine: b.Machine, slot: b.Slot})
+			}
+		}
+	}
 
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(event)
@@ -249,6 +304,7 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 			return nil, fmt.Errorf("sim: time went backwards: %v < %v", ev.time, e.now)
 		}
 		e.now = math.Max(e.now, ev.time)
+		okind := observedKind(ev.kind)
 		switch ev.kind {
 		case evArrival:
 			held := !e.deps.ready(ev.task.ID)
@@ -263,9 +319,13 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 		case evCompletion:
 			rt := e.machines[ev.machine].slots[ev.slot]
 			if rt == nil || rt.gen != ev.gen {
-				continue // stale completion from before a repairing
+				continue // stale completion from before a repricing
 			}
-			if err := e.complete(ev.machine, ev.slot); err != nil {
+			if e.cfg.Faults != nil && e.cfg.Faults.TaskFails(rt.task.ID, e.attempts[rt.task.ID]) {
+				// The attempt fails at the instant it would have completed.
+				e.evictAttempt(ev.machine, ev.slot, FaultFail)
+				okind = EvFail
+			} else if err := e.complete(ev.machine, ev.slot); err != nil {
 				return nil, err
 			}
 		case evFlush:
@@ -275,13 +335,34 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 			if e.cfg.Tracer != nil {
 				e.cfg.Tracer.TraceFlush(e.now)
 			}
+		case evMachineDown:
+			e.machineDown(ev.machine)
+		case evMachineUp:
+			e.machineUp(ev.machine)
+		case evSlowChange:
+			// A slowdown window boundary: settle at the old rate, reprice at
+			// the new one. A crashed machine has nothing running to reprice.
+			if !e.down[ev.machine] {
+				e.settle(ev.machine)
+				e.reprice(ev.machine)
+			}
+		case evRetry:
+			t := ev.task
+			t.Arrival = e.now // became schedulable now; Wait() measures queueing
+			e.enqueue(t, false)
+		case evTimeout:
+			rt := e.machines[ev.machine].slots[ev.slot]
+			if rt == nil || rt.placeGen != ev.gen {
+				continue // the attempt completed or was evicted first
+			}
+			e.evictAttempt(ev.machine, ev.slot, FaultTimeout)
 		}
 		if err := e.trySchedule(); err != nil {
 			return nil, err
 		}
 		e.ensureFlush()
 		if e.cfg.Observer != nil {
-			if oerr := e.cfg.Observer.OnEvent(View{e}, observedKind(ev.kind), e.now); oerr != nil {
+			if oerr := e.cfg.Observer.OnEvent(View{e}, okind, e.now); oerr != nil {
 				return nil, fmt.Errorf("sim: observer: %w", oerr)
 			}
 		}
@@ -304,12 +385,24 @@ func (e *Engine) Run(arrivals []sched.Task, horizon float64) (*Results, error) {
 }
 
 // observedKind maps the internal event kind to the observer-facing one.
+// A completion event whose attempt fails probabilistically is reported as
+// EvFail by the event loop instead.
 func observedKind(k eventKind) EventKind {
 	switch k {
 	case evArrival:
 		return EvArrival
 	case evCompletion:
 		return EvCompletion
+	case evMachineDown:
+		return EvMachineDown
+	case evMachineUp:
+		return EvMachineUp
+	case evSlowChange:
+		return EvSlowChange
+	case evRetry:
+		return EvRetry
+	case evTimeout:
+		return EvTimeout
 	default:
 		return EvFlush
 	}
@@ -397,6 +490,10 @@ func (e *Engine) reprice(m int) {
 		if rt.rate <= 0 {
 			rt.rate = 1e-9
 		}
+		if e.cfg.Faults != nil {
+			// A slowdown window dilates the rate; factor 0 is a full stall.
+			rt.rate *= e.cfg.Faults.RateFactor(m, s, e.now)
+		}
 		if e.cfg.Tracer != nil {
 			e.cfg.Tracer.TraceSegment(e.now, Segment{
 				Machine: m, Slot: s, TaskID: rt.task.ID, App: rt.task.App,
@@ -407,6 +504,12 @@ func (e *Engine) reprice(m int) {
 		// with stale events left behind by a previous occupant of the slot.
 		e.genSeq++
 		rt.gen = e.genSeq
+		if rt.rate <= 0 {
+			// Fully stalled: no completion is schedulable (it would land at
+			// an absurd pseudo-time and drag the horizon there when it popped
+			// stale). The slowdown window's end boundary reprices the slot.
+			continue
+		}
 		e.push(event{
 			time:    e.now + rt.workLeft/rt.rate,
 			kind:    evCompletion,
@@ -497,11 +600,36 @@ func (e *Engine) place(t sched.Task, m, slot int) error {
 	if other := ms.slots[1-slot]; other != nil {
 		neighbour = other.task.App
 	}
+	if e.cfg.Faults != nil {
+		e.attempts[t.ID]++
+		e.genSeq++
+		ms.slots[slot].placeGen = e.genSeq
+		if to := e.cfg.Faults.TaskTimeout; to > 0 {
+			// The deadline is armed once per attempt and guarded by placeGen,
+			// which (unlike gen) survives repricing. It is pushed before the
+			// reprice below ever pushes the attempt's completion event, and
+			// repricing only re-pushes completions with later sequence
+			// numbers — so a timeout landing at the same instant as the
+			// completion deterministically wins.
+			e.push(event{time: e.now + to, kind: evTimeout, machine: m, slot: slot, gen: e.genSeq})
+		}
+	}
 	e.reprice(m)
 	// Freeze the placement-time runtime forecast for observers (reprice
 	// just set the rate under the placement's neighbour).
 	rt := ms.slots[slot]
-	rt.predicted = rt.workLeft / rt.rate
+	if rt.rate > 0 {
+		rt.predicted = rt.workLeft / rt.rate
+	} else {
+		// Placed into a fully stalled slowdown window: forecast at the
+		// undilated rate — a forecast of +Inf would be meaningless and
+		// unencodable in the JSON trace.
+		base := e.table.Rate(t.App, neighbour)
+		if base <= 0 {
+			base = 1e-9
+		}
+		rt.predicted = rt.workLeft / base
+	}
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.TracePlace(e.now, PlaceInfo{
 			Task: t, Machine: m, Slot: slot, Neighbour: neighbour,
@@ -526,7 +654,8 @@ func (e *Engine) trySchedule() error {
 			batchLen = n
 		}
 		batch := append([]sched.Task(nil), e.queue[e.qhead:e.qhead+batchLen]...)
-		load := sched.Load{TotalSlots: e.cfg.Machines * vmsPerMachine, Queued: n}
+		// Crashed machines are not capacity (downCount is zero without faults).
+		load := sched.Load{TotalSlots: (e.cfg.Machines - e.downCount) * vmsPerMachine, Queued: n}
 		counts := e.pool.Counts()
 		var candidates []CategoryCount
 		if e.cfg.Tracer != nil {

@@ -18,11 +18,23 @@ import (
 // EventKind labels a processed simulation event for observers.
 type EventKind int
 
-// The three event kinds of the engine's event loop.
+// The event kinds of the engine's event loop. The fault kinds (EvFail and
+// later) occur only in fault-injected runs (Config.Faults non-nil).
 const (
 	EvArrival EventKind = iota
 	EvCompletion
 	EvFlush
+	// EvFail is a completion event whose attempt failed probabilistically.
+	EvFail
+	// EvMachineDown and EvMachineUp are machine crash/recover transitions.
+	EvMachineDown
+	EvMachineUp
+	// EvSlowChange is a slowdown-window boundary repricing a slot.
+	EvSlowChange
+	// EvRetry is a retried task re-entering the backlog after backoff.
+	EvRetry
+	// EvTimeout is an attempt evicted at its per-attempt deadline.
+	EvTimeout
 )
 
 // String returns the kind's label.
@@ -34,6 +46,18 @@ func (k EventKind) String() string {
 		return "completion"
 	case EvFlush:
 		return "flush"
+	case EvFail:
+		return "fail"
+	case EvMachineDown:
+		return "machine_down"
+	case EvMachineUp:
+		return "machine_up"
+	case EvSlowChange:
+		return "slow_change"
+	case EvRetry:
+		return "retry"
+	case EvTimeout:
+		return "timeout"
 	}
 	return "unknown"
 }
@@ -157,6 +181,15 @@ func (v View) PoolStats() sched.PoolStats { return v.e.pool.Stats() }
 
 // CompletedCount returns the number of tasks completed so far.
 func (v View) CompletedCount() int { return v.e.results.CompletedCount }
+
+// MachineDown reports whether the machine is currently crashed under the
+// run's fault plan (always false in fault-free runs).
+func (v View) MachineDown(machine int) bool {
+	return v.e.down != nil && machine >= 0 && machine < len(v.e.down) && v.e.down[machine]
+}
+
+// DownMachines returns the number of currently crashed machines.
+func (v View) DownMachines() int { return v.e.downCount }
 
 // HeldTasks returns the number of arrived tasks parked on unmet workflow
 // dependencies.

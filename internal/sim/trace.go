@@ -43,6 +43,10 @@ type Tracer interface {
 	TraceSegment(now float64, s Segment)
 	// TraceComplete fires for every completed task.
 	TraceComplete(now float64, c Completion)
+	// TraceFault fires for every fault-injection transition (see fault.go):
+	// machine crash/recover, attempt failure/timeout/eviction, scheduled
+	// retries and abandoned tasks. Never fires in fault-free runs.
+	TraceFault(now float64, f FaultInfo)
 	// TraceDone fires once when the run ends, after final energy settlement.
 	TraceDone(now float64, res *Results)
 }
@@ -86,6 +90,24 @@ type PlaceInfo struct {
 	// progress rate under Neighbour. Comparing it with the realized
 	// runtime isolates mid-flight neighbour churn.
 	Predicted float64
+}
+
+// FaultInfo describes one fault-injection transition for tracing.
+type FaultInfo struct {
+	// Kind is one of the Fault* constants in fault.go: fail, timeout,
+	// evict, retry, lost, machine_down, machine_up.
+	Kind string
+	// Machine and Slot locate the transition (-1 when not applicable:
+	// machine transitions carry Slot -1, retry/lost carry both -1).
+	Machine, Slot int
+	// TaskID and App identify the affected task (zero/empty for machine
+	// transitions).
+	TaskID int64
+	App    string
+	// Attempt is the task's placement attempts made so far.
+	Attempt int
+	// Delay is the retry backoff in seconds (retry only).
+	Delay float64
 }
 
 // Segment describes the start of one execution segment: a maximal interval

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — end-to-end chaos drill of the serving mode: boot tracond,
+# fire traconload with -chaos (random machine kills and revivals through the
+# lifecycle API while the load runs), and assert that the drill actually
+# killed machines, that no task failed, that every machine is back up, and
+# that the daemon still drains cleanly on SIGTERM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+daemon_pid=""
+
+cleanup() {
+    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -KILL "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/tracond" ./cmd/tracond
+go build -o "$workdir/traconload" ./cmd/traconload
+
+"$workdir/tracond" \
+    -addr 127.0.0.1:0 \
+    -portfile "$workdir/port" \
+    -machines 4 \
+    -model NLM \
+    -policy mios \
+    -seed 1 \
+    >"$workdir/tracond.log" 2>&1 &
+daemon_pid=$!
+
+# Wait for the port file (training takes under a second; allow thirty).
+for _ in $(seq 300); do
+    [[ -s "$workdir/port" ]] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "chaos-smoke: tracond died during startup" >&2
+        cat "$workdir/tracond.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -s "$workdir/port" ]] || { echo "chaos-smoke: no port file after 30s" >&2; exit 1; }
+addr="$(tr -d '\n' <"$workdir/port")"
+
+"$workdir/traconload" \
+    -addr "$addr" \
+    -tasks 2000 \
+    -concurrency 8 \
+    -seed 1 \
+    -chaos \
+    -chaos-interval 20ms \
+    -json >"$workdir/load.json"
+
+field() {
+    sed -n "s/^ *\"$1\": \([0-9]*\),*/\1/p" "$workdir/load.json"
+}
+completed="$(field completed)"
+failed="$(field failed)"
+kills="$(field chaos_kills)"
+
+if [[ -z "$completed" || "$completed" -eq 0 ]]; then
+    echo "chaos-smoke: zero completions" >&2
+    cat "$workdir/load.json" >&2
+    exit 1
+fi
+if [[ -z "$kills" || "$kills" -eq 0 ]]; then
+    echo "chaos-smoke: the drill killed no machines — nothing was tested" >&2
+    cat "$workdir/load.json" >&2
+    exit 1
+fi
+if [[ -n "$failed" && "$failed" -ne 0 ]]; then
+    echo "chaos-smoke: $failed tasks failed under chaos" >&2
+    cat "$workdir/load.json" >&2
+    exit 1
+fi
+
+# The drill must leave every machine back in service.
+down="$(curl -sf "http://$addr/v1/machines" | grep -c '"state": "down"' || true)"
+if [[ "$down" -ne 0 ]]; then
+    echo "chaos-smoke: $down machines still down after the drill" >&2
+    exit 1
+fi
+
+# Graceful drain: SIGTERM must produce exit code 0.
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "chaos-smoke: tracond did not drain cleanly" >&2
+    cat "$workdir/tracond.log" >&2
+    exit 1
+fi
+daemon_pid=""
+
+echo "chaos-smoke: OK ($completed tasks completed through $kills machine kills, cluster healed, clean drain)"
