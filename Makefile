@@ -68,10 +68,11 @@ bench-json:
 		-benchmem -benchtime 1x -count=1 . > BENCH_pr3.json
 
 # Serving-path benchmark snapshot: prediction-cache hit vs uncached
-# scoring, plus a fixed-seed traconload run; BENCH_pr4.json is this
-# target's output at the PR-4 baseline.
+# scoring, plus fixed-seed singleton and batched traconload runs;
+# BENCH_pr7.json is this target's output at the PR-7 baseline
+# (BENCH_pr4.json is the pre-batching singleton snapshot).
 bench-serve:
-	bash scripts/bench_serve.sh BENCH_pr4.json
+	bash scripts/bench_serve.sh BENCH_pr7.json
 
 clean:
 	$(GO) clean ./...

@@ -42,6 +42,8 @@ func main() {
 		modelsOut   = flag.String("save-models", "", "save the trained library to this JSON file (LM/NLM families)")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrent submissions (0 = default)")
 		maxQueue    = flag.Int("max-queue", 0, "max queued tasks before 429 (0 = default, negative = unbounded)")
+		batchWindow = flag.Duration("batch-window", 0, "coalesce singleton submissions for up to this long into one scheduling pass (0 = off)")
+		batchMax    = flag.Int("batch-max", 0, "max tasks per scheduling pass and per /v1/tasks:batch request (0 = default)")
 		syncRetrain = flag.Bool("sync-retrain", false, "run drift-triggered retrains on the request path (deterministic)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -53,6 +55,7 @@ func main() {
 		kindName: *kindName, policy: *policy, queueLen: *queueLen,
 		objName: *objName, seed: *seed, modelsIn: *modelsIn,
 		modelsOut: *modelsOut, maxInflight: *maxInflight, maxQueue: *maxQueue,
+		batchWindow: *batchWindow, batchMax: *batchMax,
 		syncRetrain: *syncRetrain, cpuProf: *cpuProf, memProf: *memProf,
 	}); err != nil {
 		log.Fatalf("tracond: %v", err)
@@ -68,6 +71,8 @@ type daemonConfig struct {
 	seed                  int64
 	modelsIn, modelsOut   string
 	maxInflight, maxQueue int
+	batchWindow           time.Duration
+	batchMax              int
 	syncRetrain           bool
 	cpuProf, memProf      string
 }
@@ -142,14 +147,16 @@ func run(cfg daemonConfig) error {
 	}
 
 	srv, err := serve.New(lib, serve.Config{
-		Machines:    cfg.machines,
-		Policy:      cfg.policy,
-		QueueLen:    cfg.queueLen,
-		Objective:   obj,
-		MaxInflight: cfg.maxInflight,
-		MaxQueue:    cfg.maxQueue,
-		Retrain:     brain.retrain,
-		SyncRetrain: cfg.syncRetrain,
+		Machines:       cfg.machines,
+		Policy:         cfg.policy,
+		QueueLen:       cfg.queueLen,
+		Objective:      obj,
+		MaxInflight:    cfg.maxInflight,
+		MaxQueue:       cfg.maxQueue,
+		CoalesceWindow: cfg.batchWindow,
+		BatchMax:       cfg.batchMax,
+		Retrain:        brain.retrain,
+		SyncRetrain:    cfg.syncRetrain,
 	})
 	if err != nil {
 		return err
@@ -163,6 +170,9 @@ func run(cfg daemonConfig) error {
 		if err := os.WriteFile(cfg.portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			return err
 		}
+	}
+	if cfg.batchWindow > 0 {
+		log.Printf("coalescing submissions for up to %v per scheduling pass", cfg.batchWindow)
 	}
 	log.Printf("serving %d machines (%s policy) on http://%s", cfg.machines, cfg.policy, ln.Addr())
 

@@ -1,10 +1,13 @@
 // Command traconload drives a running tracond with a synthetic task
 // stream and reports client-side throughput and latency percentiles.
 //
-// Two modes:
+// Three modes:
 //
 //   - closed loop (default): -concurrency workers each keep exactly one
 //     task in flight — submit, wait for placement, complete, repeat.
+//   - batched closed loop (-batch N): workers submit N tasks per request
+//     through POST /v1/tasks:batch, so the daemon runs one queue-aware
+//     scheduling pass per group, then complete each admitted task.
 //   - open loop (-rate N): task arrivals follow a Poisson process at N
 //     tasks/minute regardless of how fast the daemon answers, the
 //     arrival model of the paper's Sec. 4 workload mixes.
@@ -48,6 +51,7 @@ func main() {
 		target      = flag.String("addr", "127.0.0.1:8080", "tracond address (host:port)")
 		tasks       = flag.Int("tasks", 200, "total tasks to submit")
 		concurrency = flag.Int("concurrency", 8, "closed-loop workers (ignored with -rate)")
+		batch       = flag.Int("batch", 0, "submit tasks in groups of this size via /v1/tasks:batch (closed loop only; 0 = singleton)")
 		rate        = flag.Float64("rate", 0, "open-loop Poisson arrival rate in tasks/minute (0 = closed loop)")
 		seed        = flag.Int64("seed", 1, "randomness seed (app choice, noise, arrivals)")
 		apps        = flag.String("apps", "", "comma-separated application mix (default: every app the daemon serves)")
@@ -63,7 +67,8 @@ func main() {
 
 	sum, err := run(loadConfig{
 		base: "http://" + *target, tasks: *tasks, concurrency: *concurrency,
-		rate: *rate, seed: *seed, apps: *apps, noise: *noise, drift: *drift,
+		batch: *batch,
+		rate:  *rate, seed: *seed, apps: *apps, noise: *noise, drift: *drift,
 		pollEvery: *pollEvery, timeout: *timeout,
 		chaos: *chaos, chaosEvery: *chaosEvery,
 	})
@@ -86,6 +91,7 @@ type loadConfig struct {
 	base        string
 	tasks       int
 	concurrency int
+	batch       int
 	rate        float64
 	seed        int64
 	apps        string
@@ -99,13 +105,15 @@ type loadConfig struct {
 
 // summary is the run report (the -json shape).
 type summary struct {
-	Mode          string             `json:"mode"`
-	Tasks         int                `json:"tasks"`
-	Submitted     int64              `json:"submitted"`
-	Completed     int64              `json:"completed"`
-	Queued        int64              `json:"queued"`
-	Rejected      int64              `json:"rejected"`
-	Failed        int64              `json:"failed"`
+	Mode      string `json:"mode"`
+	Tasks     int    `json:"tasks"`
+	Submitted int64  `json:"submitted"`
+	Completed int64  `json:"completed"`
+	Queued    int64  `json:"queued"`
+	Rejected  int64  `json:"rejected"`
+	Failed    int64  `json:"failed"`
+	// Batches counts /v1/tasks:batch requests in -batch mode.
+	Batches       int64              `json:"batches,omitempty"`
 	WallSeconds   float64            `json:"wall_seconds"`
 	ThroughputPS  float64            `json:"throughput_per_s"`
 	SubmitLatency obs.LatencySummary `json:"submit_latency_s"`
@@ -123,6 +131,9 @@ func (s summary) text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "mode        %s\n", s.Mode)
 	fmt.Fprintf(&b, "submitted   %d (queued %d, rejected %d, failed %d)\n", s.Submitted, s.Queued, s.Rejected, s.Failed)
+	if s.Batches > 0 {
+		fmt.Fprintf(&b, "batches     %d\n", s.Batches)
+	}
 	fmt.Fprintf(&b, "completed   %d in %.2fs → %.1f tasks/s\n", s.Completed, s.WallSeconds, s.ThroughputPS)
 	fmt.Fprintf(&b, "submit lat  p50 %.1fµs  p95 %.1fµs  p99 %.1fµs\n",
 		s.SubmitLatency.P50*1e6, s.SubmitLatency.P95*1e6, s.SubmitLatency.P99*1e6)
@@ -147,20 +158,30 @@ type loader struct {
 
 	submitted, completed, queued, rejected, failed atomic.Int64
 	issued                                         atomic.Int64 // tasks handed to workers, for the drift midpoint
+	batches                                        atomic.Int64
 	kills, revives, retried                        atomic.Int64
 	deadline                                       time.Time
 }
 
 func run(cfg loadConfig) (summary, error) {
 	l := &loader{
-		cfg:       cfg,
-		client:    &http.Client{Timeout: 10 * time.Second},
+		cfg: cfg,
+		client: &http.Client{
+			Timeout: 10 * time.Second,
+			// Batched mode keeps concurrency*batch requests in flight against
+			// one host; the default idle pool (2 per host) would churn
+			// connections instead of reusing them.
+			Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256},
+		},
 		submitLat: obs.NewHistogram(obs.DefaultLatencyBuckets()),
 		e2eLat:    obs.NewHistogram(obs.DefaultLatencyBuckets()),
 		deadline:  time.Now().Add(cfg.timeout),
 	}
 	if err := l.resolveApps(); err != nil {
 		return summary{}, err
+	}
+	if cfg.batch > 1 && cfg.rate > 0 {
+		return summary{}, fmt.Errorf("-batch is a closed-loop mode; it cannot combine with -rate")
 	}
 
 	start := time.Now()
@@ -170,9 +191,12 @@ func run(cfg loadConfig) (summary, error) {
 		chaosStop, chaosDone = make(chan struct{}), make(chan struct{})
 		go l.chaosLoop(chaosStop, chaosDone)
 	}
-	if cfg.rate > 0 {
+	switch {
+	case cfg.rate > 0:
 		l.openLoop()
-	} else {
+	case cfg.batch > 1:
+		l.batchLoop()
+	default:
 		l.closedLoop()
 	}
 	if cfg.chaos {
@@ -196,6 +220,9 @@ func run(cfg loadConfig) (summary, error) {
 	}
 	if cfg.rate > 0 {
 		sum.Mode = fmt.Sprintf("open (%.0f/min)", cfg.rate)
+	} else if cfg.batch > 1 {
+		sum.Mode = fmt.Sprintf("closed batch=%d", cfg.batch)
+		sum.Batches = l.batches.Load()
 	}
 	if cfg.chaos {
 		sum.Mode += " +chaos"
@@ -379,6 +406,88 @@ func (l *loader) openLoop() {
 	wg.Wait()
 }
 
+// batchLoop is the closed loop over /v1/tasks:batch: each worker submits
+// cfg.batch tasks per request, so the daemon runs one queue-aware
+// scheduling pass per group, then completes every admitted task before
+// taking the next group.
+func (l *loader) batchLoop() {
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	for w := 0; w < l.cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(l.cfg.seed + int64(w)*7919))
+			for {
+				n := int(next.Add(int64(l.cfg.batch)))
+				if n-l.cfg.batch >= l.cfg.tasks || time.Now().After(l.deadline) {
+					return
+				}
+				size := l.cfg.batch
+				if over := n - l.cfg.tasks; over > 0 {
+					size -= over // last group takes the remainder
+				}
+				l.runBatch(rng, size)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runBatch submits one task group and completes every admitted task. The
+// completions run concurrently — the group was placed as a unit, and
+// serializing its completions would stall the daemon's backlog drain
+// behind this client's poll interval.
+func (l *loader) runBatch(rng *rand.Rand, size int) {
+	req := serve.BatchRequest{Tasks: make([]serve.BatchTask, size)}
+	for i := range req.Tasks {
+		req.Tasks[i].App = l.apps[rng.Intn(len(l.apps))]
+	}
+	body, _ := json.Marshal(req)
+	t0 := time.Now()
+	resp, err := l.client.Post(l.cfg.base+"/v1/tasks:batch", "application/json", bytes.NewReader(body))
+	l.submitLat.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		l.failed.Add(int64(size))
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		l.rejected.Add(int64(size))
+		return
+	default:
+		io.Copy(io.Discard, resp.Body)
+		l.failed.Add(int64(size))
+		return
+	}
+	var br serve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		l.failed.Add(int64(size))
+		return
+	}
+	l.batches.Add(1)
+	var wg sync.WaitGroup
+	for _, r := range br.Results {
+		switch {
+		case r.Rejected:
+			l.rejected.Add(1)
+		case r.Placement == nil:
+			l.failed.Add(1)
+		default:
+			l.submitted.Add(1)
+			wg.Add(1)
+			go func(seed int64, rec *serve.Placement) {
+				defer wg.Done()
+				l.finishTask(rand.New(rand.NewSource(seed)), rec, t0)
+			}(rng.Int63(), r.Placement)
+		}
+	}
+	wg.Wait()
+}
+
 // runTask submits one task, waits for it to be placed, and completes it
 // with a synthetic observation.
 func (l *loader) runTask(rng *rand.Rand) {
@@ -398,6 +507,13 @@ func (l *loader) runTask(rng *rand.Rand) {
 		return
 	}
 	l.submitted.Add(1)
+	l.finishTask(rng, rec, t0)
+}
+
+// finishTask rides one admitted task to completion: wait out the queue if
+// the daemon parked it, then report a synthetic observation. t0 anchors
+// the end-to-end latency sample at the original submission.
+func (l *loader) finishTask(rng *rand.Rand, rec *serve.Placement, t0 time.Time) {
 	if rec.Status == serve.StatusQueued {
 		l.queued.Add(1)
 		if rec = l.awaitPlacement(rec.ID); rec == nil {
@@ -459,7 +575,15 @@ func (l *loader) submit(app string) (*serve.Placement, int, error) {
 }
 
 // awaitPlacement polls a queued task until it lands on a slot (or fails).
+// The first polls come fast and back off to the configured interval: in a
+// burst the placement usually lands within a few hundred microseconds of
+// a slot freeing, and waiting a full interval for it would put the poll
+// period on the critical path of every slot turnover.
 func (l *loader) awaitPlacement(id string) *serve.Placement {
+	sleep := l.cfg.pollEvery / 16
+	if sleep <= 0 {
+		sleep = l.cfg.pollEvery
+	}
 	for time.Now().Before(l.deadline) {
 		resp, err := l.client.Get(l.cfg.base + "/v1/placements/" + id)
 		if err != nil {
@@ -477,7 +601,10 @@ func (l *loader) awaitPlacement(id string) *serve.Placement {
 		case serve.StatusFailed, serve.StatusCompleted:
 			return nil
 		}
-		time.Sleep(l.cfg.pollEvery)
+		time.Sleep(sleep)
+		if sleep *= 2; sleep > l.cfg.pollEvery {
+			sleep = l.cfg.pollEvery
+		}
 	}
 	return nil
 }

@@ -35,3 +35,8 @@ func (h *Histogram) Latency() LatencySummary { return h.Snapshot().Latency() }
 // 2× exponential resolution — wide enough for an in-process placement
 // decision and for a queued task waiting out a saturated cluster.
 func DefaultLatencyBuckets() []float64 { return ExpBuckets(1e-5, 2, 27) }
+
+// BatchSizeBuckets spans scheduling batch sizes from a singleton to 1024
+// tasks with 2× resolution — the serving daemon's batch-size histogram
+// records one observation per flushed scheduling pass.
+func BatchSizeBuckets() []float64 { return ExpBuckets(1, 2, 11) }

@@ -3,10 +3,16 @@ package serve
 import "sync/atomic"
 
 // Admission is the daemon's backpressure valve: a non-blocking in-flight
-// token bucket for the submit path plus a queue-depth bound checked
+// token bucket for the submit path plus a queue-depth bound enforced
 // against the placer backlog. A saturated daemon answers 429 with a
 // Retry-After hint instead of building an unbounded internal queue — the
 // caller owns the retry policy.
+//
+// The bound checks here are pure — they never mutate the rejection
+// counter. Whoever actually turns a "would reject" into a refused request
+// (the HTTP layer, the placer's atomic admission) records it once via
+// CountRejections, so probing callers (metrics, batch pre-checks) cannot
+// inflate the count.
 type Admission struct {
 	sem      chan struct{}
 	maxQueue int
@@ -29,13 +35,13 @@ func NewAdmission(maxInflight, maxQueue int) *Admission {
 	}
 }
 
-// TryAcquire claims an in-flight token without blocking.
+// TryAcquire claims an in-flight token without blocking. A refusal is not
+// counted here — the caller decides whether it becomes a rejected request.
 func (a *Admission) TryAcquire() bool {
 	select {
 	case a.sem <- struct{}{}:
 		return true
 	default:
-		a.rejected.Add(1)
 		return false
 	}
 }
@@ -43,41 +49,53 @@ func (a *Admission) TryAcquire() bool {
 // Release returns a token claimed with TryAcquire.
 func (a *Admission) Release() { <-a.sem }
 
-// QueueFull reports whether the backlog is at its bound.
-func (a *Admission) QueueFull(depth int) bool {
-	if a.maxQueue <= 0 {
-		return false
-	}
-	full := depth >= a.maxQueue
-	if full {
-		a.rejected.Add(1)
-	}
-	return full
+// InFlight returns the number of tokens currently claimed.
+func (a *Admission) InFlight() int { return len(a.sem) }
+
+// WouldReject reports whether a submission arriving at the given backlog
+// depth should shed. Pure: no counter is touched.
+func (a *Admission) WouldReject(depth int) bool {
+	return a.maxQueue > 0 && depth >= a.maxQueue
 }
 
-// QueueFullScaled is QueueFull with the bound scaled to the fraction of
-// the inventory that is actually schedulable: a cluster serving at half
+// ScaledBound resolves the queue bound against the fraction of the
+// inventory that is actually schedulable: a cluster serving at half
 // capacity queues half as much before shedding, and one with no up
 // machines accepts nothing. The bound never scales below one slot's worth
 // of queue while any capacity remains, and a disabled bound (maxQueue <= 0)
-// stays disabled except for the zero-capacity cutoff.
-func (a *Admission) QueueFullScaled(depth, available, total int) bool {
+// stays disabled except for the zero-capacity cutoff. Returns -1 for
+// "unbounded" and 0 for "reject everything".
+func (a *Admission) ScaledBound(available, total int) int {
 	if available <= 0 {
-		a.rejected.Add(1)
-		return true
+		return 0
 	}
 	if a.maxQueue <= 0 || total <= 0 {
-		return false
+		return -1
 	}
 	bound := a.maxQueue * available / total
 	if bound < 1 {
 		bound = 1
 	}
-	full := depth >= bound
-	if full {
-		a.rejected.Add(1)
+	return bound
+}
+
+// WouldRejectScaled is WouldReject with the bound scaled by ScaledBound.
+// Pure: no counter is touched.
+func (a *Admission) WouldRejectScaled(depth, available, total int) bool {
+	switch bound := a.ScaledBound(available, total); {
+	case bound < 0:
+		return false
+	default:
+		return depth >= bound
 	}
-	return full
+}
+
+// CountRejections records n refused submissions. This is the only mutator
+// of the rejection count.
+func (a *Admission) CountRejections(n int) {
+	if n > 0 {
+		a.rejected.Add(uint64(n))
+	}
 }
 
 // Rejected counts admissions refused (inflight and queue-depth combined).

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"tracon/internal/obs"
+)
+
+// DefaultBatchMax caps one scheduling pass's batch when Config.BatchMax
+// is zero: the coalescer flushes early at this size and the batch endpoint
+// refuses larger requests.
+const DefaultBatchMax = 256
+
+// Coalescer micro-batches singleton submissions: a task arriving on
+// POST /v1/tasks waits up to one coalesce window for companions, then the
+// whole group goes through a single queue-aware scheduling pass
+// (Placer.SubmitBatch) — the paper's batch schedulers score the entire
+// backlog, so co-runner pairing decisions see every waiting task instead
+// of a single head. A group also flushes early when it reaches maxBatch.
+//
+// Each waiter holds its own HTTP goroutine (and admission token); the
+// flush runs on the goroutine that tripped it — no background worker, no
+// work left behind on shutdown.
+type Coalescer struct {
+	placer   *Placer
+	window   time.Duration
+	maxBatch int
+
+	// sizeHist records tasks per flushed batch, decisionHist the scheduling
+	// latency of one flush, waiting the submissions currently parked.
+	sizeHist     *obs.Histogram
+	decisionHist *obs.Histogram
+	waiting      *obs.Gauge
+
+	mu      sync.Mutex
+	pending []coalesceEntry
+	timer   *time.Timer // armed while a partial group waits out its window
+}
+
+// coalesceEntry is one parked submission and its reply channel.
+type coalesceEntry struct {
+	app string
+	ch  chan coalesceResult
+}
+
+type coalesceResult struct {
+	rec *Placement
+	err error
+}
+
+// NewCoalescer builds the micro-batcher over a placer. window must be
+// positive; maxBatch <= 0 takes DefaultBatchMax.
+func NewCoalescer(placer *Placer, window time.Duration, maxBatch int, reg *obs.Registry) *Coalescer {
+	if maxBatch <= 0 {
+		maxBatch = DefaultBatchMax
+	}
+	return &Coalescer{
+		placer:       placer,
+		window:       window,
+		maxBatch:     maxBatch,
+		sizeHist:     reg.Histogram("serve.batch_size", obs.BatchSizeBuckets()),
+		decisionHist: reg.Histogram("serve.batch_decision_seconds", obs.DefaultLatencyBuckets()),
+		waiting:      reg.Gauge("serve.coalesce_waiting"),
+	}
+}
+
+// Submit parks one task until its group flushes and returns the task's own
+// outcome. Blocks for at most the coalesce window plus one scheduling
+// pass.
+func (c *Coalescer) Submit(app string) (*Placement, error) {
+	ch := make(chan coalesceResult, 1)
+	c.mu.Lock()
+	c.pending = append(c.pending, coalesceEntry{app: app, ch: ch})
+	c.waiting.Set(float64(len(c.pending)))
+	if len(c.pending) >= c.maxBatch {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		c.flush(batch)
+	} else {
+		if c.timer == nil {
+			c.timer = time.AfterFunc(c.window, c.flushOnTimer)
+		}
+		c.mu.Unlock()
+	}
+	res := <-ch
+	return res.rec, res.err
+}
+
+// takeLocked claims the pending group and disarms the window timer.
+func (c *Coalescer) takeLocked() []coalesceEntry {
+	batch := c.pending
+	c.pending = nil
+	c.waiting.Set(0)
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+// flushOnTimer fires when a partial group's window expires.
+func (c *Coalescer) flushOnTimer() {
+	c.mu.Lock()
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.flush(batch)
+}
+
+// flush runs one queue-aware scheduling pass over the group and delivers
+// each waiter its own outcome.
+func (c *Coalescer) flush(batch []coalesceEntry) {
+	if len(batch) == 0 {
+		return
+	}
+	apps := make([]string, len(batch))
+	for i, e := range batch {
+		apps[i] = e.app
+	}
+	t0 := time.Now()
+	outcomes, err := c.placer.SubmitBatch(apps)
+	c.decisionHist.Observe(time.Since(t0).Seconds())
+	c.sizeHist.Observe(float64(len(batch)))
+	for i, e := range batch {
+		res := coalesceResult{rec: outcomes[i].Placement, err: outcomes[i].Err}
+		if res.err == nil && err != nil {
+			// A global scheduling failure surfaces on every admitted task,
+			// mirroring what a singleton Submit would have returned.
+			res = coalesceResult{err: err}
+		}
+		e.ch <- res
+	}
+}

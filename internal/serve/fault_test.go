@@ -224,11 +224,15 @@ func TestAdmissionSheddingTable(t *testing.T) {
 	}
 	for _, tc := range cases {
 		a := NewAdmission(0, tc.maxQueue)
-		if got := a.QueueFullScaled(tc.depth, tc.available, tc.total); got != tc.full {
-			t.Errorf("%s: QueueFullScaled = %v, want %v", tc.name, got, tc.full)
+		if got := a.WouldRejectScaled(tc.depth, tc.available, tc.total); got != tc.full {
+			t.Errorf("%s: WouldRejectScaled = %v, want %v", tc.name, got, tc.full)
 		}
 		if got := retryAfter(tc.available, tc.total); got != tc.after {
 			t.Errorf("%s: retryAfter = %d, want %d", tc.name, got, tc.after)
+		}
+		// The checks are pure: probing must never inflate the counter.
+		if got := a.Rejected(); got != 0 {
+			t.Errorf("%s: WouldRejectScaled mutated the rejection counter to %d", tc.name, got)
 		}
 	}
 }

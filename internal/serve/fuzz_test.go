@@ -11,22 +11,28 @@ import (
 const fuzzMachines = 3
 
 // FuzzPlacerBacklog interprets the fuzz input as an operation stream
-// against a live Placer — submits, completions, machine kills, revivals,
-// drains and undrains in arbitrary order — and checks after every single
-// operation that CheckInvariants stays silent, then at the end that no
-// task was lost or double-placed: every submission is still queued,
-// placed on a unique slot, or completed.
+// against a live Placer — singleton submits, batch submits, completions,
+// machine kills, revivals, drains and undrains in arbitrary order — and
+// checks after every single operation that CheckInvariants stays silent
+// and that admission never grows the backlog past the scaled bound
+// (kill-requeued victims may leave it overfull; submits must not add to
+// that), then at the end that no task was lost or double-placed: every
+// admitted submission is still queued, placed on a unique slot, or
+// completed.
 //
-// Operation encoding: op%8 selects the verb (0-2 submit, 3 complete the
-// oldest placed task, 4 kill, 5 revive, 6 drain, 7 undrain); op/8 selects
-// the application (submits) or machine (lifecycle verbs). Lifecycle verbs
-// that are invalid in the machine's current state are expected no-ops
-// (ErrBadTransition); anything else is a bug.
+// Operation encoding: op%8 selects the verb (0-1 submit, 2 submit a batch
+// of 2-4 tasks, 3 complete the oldest placed task, 4 kill, 5 revive,
+// 6 drain, 7 undrain); op/8 selects the application (submits) or machine
+// (lifecycle verbs). Submissions shed by the admission bound
+// (ErrQueueFull — the placer enforces it atomically) are expected;
+// lifecycle verbs invalid in the machine's current state are expected
+// no-ops (ErrBadTransition); anything else is a bug.
 func FuzzPlacerBacklog(f *testing.F) {
 	f.Add([]byte("\x00\x00\x00\x00\x00\x00\x03\x03\x03"))     // fill, then complete
 	f.Add([]byte("\x00\x01\x02\x00\x04\x05\x00\x03"))         // kill 0 mid-load, revive
 	f.Add([]byte("\x00\x0e\x00\x00\x0f\x03"))                 // drain 1, fill, undrain
 	f.Add([]byte("\x04\x0c\x14\x00\x00\x05\x0d\x15\x03\x03")) // kill everything, revive everything
+	f.Add([]byte("\x02\x0a\x12\x03\x02\x04\x02\x05"))         // batch bursts around a kill
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 512 {
 			ops = ops[:512] // bound one case's work; longer inputs add nothing
@@ -36,16 +42,41 @@ func FuzzPlacerBacklog(f *testing.F) {
 		apps := testLibrary(t, model.NLM).Apps()
 
 		var ids []string
-		completed := 0
+		completed, rejected := 0, 0
+		prevDepth := 0
 		for i, op := range ops {
 			verb, arg := int(op)%8, int(op)/8
 			switch verb {
-			case 0, 1, 2:
+			case 0, 1:
 				rec, err := p.Submit(apps[arg%len(apps)])
-				if err != nil {
+				switch {
+				case errors.Is(err, ErrQueueFull):
+					rejected++
+				case err != nil:
 					t.Fatalf("op %d: submit: %v", i, err)
+				default:
+					ids = append(ids, rec.ID)
 				}
-				ids = append(ids, rec.ID)
+			case 2:
+				n := 2 + arg%3
+				batch := make([]string, n)
+				for j := range batch {
+					batch[j] = apps[(arg+j)%len(apps)]
+				}
+				outcomes, err := p.SubmitBatch(batch)
+				if err != nil {
+					t.Fatalf("op %d: batch submit: %v", i, err)
+				}
+				for j, o := range outcomes {
+					switch {
+					case errors.Is(o.Err, ErrQueueFull):
+						rejected++
+					case o.Err != nil:
+						t.Fatalf("op %d: batch task %d: %v", i, j, o.Err)
+					default:
+						ids = append(ids, o.Placement.ID)
+					}
+				}
 			case 3:
 				for _, id := range ids {
 					rec, ok := p.Get(id)
@@ -77,9 +108,24 @@ func FuzzPlacerBacklog(f *testing.F) {
 			if err := p.CheckInvariants(); err != nil {
 				t.Fatalf("op %d (byte %#x): %v", i, op, err)
 			}
+			// The scaled bound governs admission, not crash recovery: a kill
+			// requeues its in-flight victims at the queue front even when the
+			// surviving capacity's bound is already met (they were admitted
+			// once; shedding them would lose tasks). So the invariant is that
+			// submits never GROW the backlog past bound+free — an overfull
+			// backlog left by a kill must strictly shrink until it fits.
+			snap := p.Snapshot()
+			if verb <= 2 {
+				if bound := s.admission.ScaledBound(snap.Available, snap.Total); bound >= 0 &&
+					snap.QueueDepth > bound+snap.FreeSlots && snap.QueueDepth > prevDepth {
+					t.Fatalf("op %d: submit grew backlog to %d, past scaled bound %d (+%d free)",
+						i, snap.QueueDepth, bound, snap.FreeSlots)
+				}
+			}
+			prevDepth = snap.QueueDepth
 		}
 
-		// Conservation: every submitted task is accounted for exactly once,
+		// Conservation: every admitted task is accounted for exactly once,
 		// and no two placed tasks share a slot.
 		queued, placed := 0, 0
 		slots := map[[2]int]string{}
@@ -105,8 +151,8 @@ func FuzzPlacerBacklog(f *testing.F) {
 			}
 		}
 		if queued+placed+completed != len(ids) {
-			t.Fatalf("conservation: %d queued + %d placed + %d completed != %d submitted",
-				queued, placed, completed, len(ids))
+			t.Fatalf("conservation: %d queued + %d placed + %d completed != %d admitted (%d rejected)",
+				queued, placed, completed, len(ids), rejected)
 		}
 	})
 }

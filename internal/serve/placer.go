@@ -25,6 +25,11 @@ var ErrUnknownMachine = errors.New("serve: unknown machine")
 // one that never died, ...).
 var ErrBadTransition = errors.New("serve: invalid machine state transition")
 
+// ErrQueueFull is returned when the admission bound refuses a submission:
+// the backlog (plus whatever free capacity could still absorb it) is at
+// the scaled queue bound. The HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: placement queue is full")
+
 // Placement status values.
 const (
 	StatusQueued    = "queued"
@@ -97,16 +102,30 @@ const SlotsPerMachine = 2
 
 // Placer owns the serving-side cluster state: the machine inventory, the
 // FIFO backlog, and the placement records. All mutations happen under one
-// mutex; scheduling decisions go through the ModelSet's current view, so a
-// model hot-swap between two submissions is invisible to either.
+// mutex, but the expensive part of a scheduling pass — model scoring over
+// the backlog — runs OUTSIDE the lock against an immutable snapshot of
+// the inventory, then commits its decisions only if nothing changed in
+// between (a version counter guards the snapshot). Under contention the
+// commit retries with a fresh snapshot, falling back to fully-locked
+// scheduling so progress is guaranteed.
+//
+// Admission is enforced here, atomically with the enqueue: the scaled
+// queue bound is checked and the task enqueued under one critical section,
+// so concurrent submits can never drive the backlog past the bound.
 type Placer struct {
-	models *ModelSet
+	models    *ModelSet
+	admission *Admission // nil disables the queue bound
 
 	mu         sync.Mutex
 	machines   []machine
 	queue      []string // queued placement IDs, FIFO
 	placements map[string]*Placement
 	nextID     int64
+
+	// version stamps the mutable state (queue, slots, machine states);
+	// every mutation bumps it, and an optimistic scheduling pass commits
+	// only if the version still matches its snapshot.
+	version uint64
 
 	// done is the FIFO of finished (completed/failed) placement IDs; the
 	// oldest records are dropped beyond doneCap so the map stays bounded.
@@ -121,8 +140,9 @@ type Placer struct {
 // for GET /v1/placements/{id}.
 const DefaultCompletedCap = 65536
 
-// NewPlacer builds an empty inventory of machines.
-func NewPlacer(models *ModelSet, machines, completedCap int) (*Placer, error) {
+// NewPlacer builds an empty inventory of machines. admission may be nil,
+// in which case no queue bound is enforced.
+func NewPlacer(models *ModelSet, admission *Admission, machines, completedCap int) (*Placer, error) {
 	if machines <= 0 {
 		return nil, fmt.Errorf("serve: need at least one machine, got %d", machines)
 	}
@@ -135,28 +155,105 @@ func NewPlacer(models *ModelSet, machines, completedCap int) (*Placer, error) {
 	}
 	return &Placer{
 		models:     models,
+		admission:  admission,
 		machines:   inventory,
 		placements: map[string]*Placement{},
 		doneCap:    completedCap,
 	}, nil
 }
 
-// Submit validates, records and tries to place one task. The returned
-// Placement is a copy; its status is placed when a slot was free (or the
-// scheduler chose to use one) and queued otherwise.
+// Submit validates, admits, records and tries to place one task. The
+// returned Placement is a copy; its status is placed when a slot was free
+// (or the scheduler chose to use one) and queued otherwise. The admission
+// bound is checked atomically with the enqueue: at no instant can
+// concurrent submits push the backlog past the scaled bound.
 func (p *Placer) Submit(app string) (*Placement, error) {
 	view := p.models.View()
-	if !view.Known[app] {
-		// Reproduce the library's typed error so the HTTP layer can map it
-		// to 400 without a second lookup.
-		_, err := view.Lib.SoloRuntime(app)
-		if err == nil {
-			err = fmt.Errorf("%w: %q", model.ErrUnknownApp, app)
-		}
+	if err := p.checkKnown(view, app); err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	if budget := p.admitBudgetLocked(); budget == 0 {
+		p.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	rec := p.enqueueLocked(app)
+	p.mu.Unlock()
+	if err := p.drain(); err != nil {
+		return nil, err
+	}
+	return p.snapshotRecord(rec), nil
+}
+
+// BatchOutcome is one task's result inside a SubmitBatch: either a
+// placement record or a per-task error (unknown application, queue full).
+type BatchOutcome struct {
+	Placement *Placement
+	Err       error
+}
+
+// SubmitBatch admits and enqueues a whole batch under one critical
+// section, then runs queue-aware scheduling passes over the combined
+// backlog — the batch schedulers (MIBS/MIX) see every queued task at once
+// instead of a stream of singletons. Outcomes are per task and positional:
+// unknown applications and tasks beyond the admission budget are rejected
+// individually without failing the rest of the batch. The returned error
+// is global (a scheduling failure); per-task problems live in the slice.
+func (p *Placer) SubmitBatch(apps []string) ([]BatchOutcome, error) {
+	view := p.models.View()
+	out := make([]BatchOutcome, len(apps))
+	var recs []*Placement
+
+	p.mu.Lock()
+	budget := p.admitBudgetLocked()
+	for i, app := range apps {
+		if err := p.checkKnown(view, app); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if budget == 0 {
+			out[i].Err = ErrQueueFull
+			continue
+		}
+		if budget > 0 {
+			budget--
+		}
+		rec := p.enqueueLocked(app)
+		out[i].Placement = rec // live pointer; snapshotted after the drain
+		recs = append(recs, rec)
+	}
+	p.mu.Unlock()
+
+	var drainErr error
+	if len(recs) > 0 {
+		drainErr = p.drain()
+	}
+	p.mu.Lock()
+	for i := range out {
+		if out[i].Placement != nil {
+			out[i].Placement = out[i].Placement.clone()
+		}
+	}
+	p.mu.Unlock()
+	return out, drainErr
+}
+
+// checkKnown reproduces the library's typed error for an application the
+// current generation cannot score, so the HTTP layer can map it to 400
+// without a second lookup.
+func (p *Placer) checkKnown(view ModelView, app string) error {
+	if view.Known[app] {
+		return nil
+	}
+	_, err := view.Lib.SoloRuntime(app)
+	if err == nil {
+		err = fmt.Errorf("%w: %q", model.ErrUnknownApp, app)
+	}
+	return err
+}
+
+// enqueueLocked mints a record and appends it to the backlog.
+func (p *Placer) enqueueLocked(app string) *Placement {
 	p.nextID++
 	rec := &Placement{
 		ID:      fmt.Sprintf("t-%d", p.nextID),
@@ -167,10 +264,37 @@ func (p *Placer) Submit(app string) (*Placement, error) {
 	}
 	p.placements[rec.ID] = rec
 	p.queue = append(p.queue, rec.ID)
-	if err := p.drainLocked(); err != nil {
-		return nil, err
+	p.version++
+	return rec
+}
+
+// admitBudgetLocked returns how many more submissions the admission bound
+// allows right now (-1 = unbounded). The budget counts the free
+// schedulable slots as absorption: the invariant it maintains is that the
+// backlog left after the draining pass never exceeds the scaled bound —
+// on a full cluster (no free slots) that means the instantaneous queue
+// depth itself never exceeds the bound.
+func (p *Placer) admitBudgetLocked() int {
+	if p.admission == nil {
+		return -1
 	}
-	return rec.clone(), nil
+	available, total := p.capacityLocked()
+	bound := p.admission.ScaledBound(available, total)
+	if bound < 0 {
+		return -1
+	}
+	budget := bound + p.freeSlotsLocked() - len(p.queue)
+	if budget < 0 {
+		budget = 0
+	}
+	return budget
+}
+
+// snapshotRecord clones a live record under the lock.
+func (p *Placer) snapshotRecord(rec *Placement) *Placement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return rec.clone()
 }
 
 // Observation is a completion report: what the task actually experienced.
@@ -183,26 +307,32 @@ type Observation struct {
 // backlog. It returns the completed record (a copy).
 func (p *Placer) Complete(id string) (*Placement, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	rec, ok := p.placements[id]
 	if !ok {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPlacement, id)
 	}
 	if rec.Status != StatusPlaced {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q is %s", ErrNotPlaced, id, rec.Status)
 	}
 	m := &p.machines[rec.Machine]
 	if m.slots[rec.Slot].taskID != id {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("serve: slot bookkeeping corrupt for %q", id)
 	}
 	m.slots[rec.Slot] = slot{}
 	p.placedCount--
 	rec.Status = StatusCompleted
 	p.finishLocked(rec.ID)
-	if err := p.drainLocked(); err != nil {
-		return rec.clone(), err
+	p.version++
+	out := rec.clone()
+	p.mu.Unlock()
+	if err := p.drain(); err != nil {
+		// The completion itself landed; the post-completion drain failed.
+		return out, err
 	}
-	return rec.clone(), nil
+	return out, nil
 }
 
 // Get returns a copy of the placement record.
@@ -252,12 +382,40 @@ func (p *Placer) freeSlotsLocked() int {
 func (p *Placer) Capacity() (available, total int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.capacityLocked()
+}
+
+func (p *Placer) capacityLocked() (available, total int) {
 	for i := range p.machines {
 		if p.machines[i].state == MachineUp {
 			available += SlotsPerMachine
 		}
 	}
 	return available, SlotsPerMachine * len(p.machines)
+}
+
+// Snapshot is one consistent view of the placer's load state, taken under
+// a single lock acquisition — the shedding decision and the Retry-After
+// hint read queue depth and capacity from the same instant instead of
+// mixing two lock acquisitions' worth of state.
+type Snapshot struct {
+	QueueDepth int `json:"queue_depth"`
+	FreeSlots  int `json:"free_slots"`
+	Available  int `json:"available_slots"`
+	Total      int `json:"total_slots"`
+}
+
+// Snapshot captures queue depth, free slots and capacity atomically.
+func (p *Placer) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	available, total := p.capacityLocked()
+	return Snapshot{
+		QueueDepth: len(p.queue),
+		FreeSlots:  p.freeSlotsLocked(),
+		Available:  available,
+		Total:      total,
+	}
 }
 
 // Drain cordons an up machine: its in-flight tasks finish, but it accepts
@@ -281,17 +439,20 @@ func (p *Placer) Revive(id int) error {
 // draining the backlog onto any capacity the transition restored.
 func (p *Placer) transition(id int, from, to string, redrain bool) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if id < 0 || id >= len(p.machines) {
+		p.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownMachine, id)
 	}
 	m := &p.machines[id]
 	if m.state != from {
+		p.mu.Unlock()
 		return fmt.Errorf("%w: machine %d is %s, not %s", ErrBadTransition, id, m.state, from)
 	}
 	m.state = to
+	p.version++
+	p.mu.Unlock()
 	if redrain {
-		return p.drainLocked()
+		return p.drain()
 	}
 	return nil
 }
@@ -302,12 +463,13 @@ func (p *Placer) transition(id int, from, to string, redrain bool) error {
 // It returns the number of tasks re-queued.
 func (p *Placer) Kill(id int) (requeued int, err error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if id < 0 || id >= len(p.machines) {
+		p.mu.Unlock()
 		return 0, fmt.Errorf("%w: %d", ErrUnknownMachine, id)
 	}
 	m := &p.machines[id]
 	if m.state == MachineDown {
+		p.mu.Unlock()
 		return 0, fmt.Errorf("%w: machine %d is already down", ErrBadTransition, id)
 	}
 	m.state = MachineDown
@@ -331,7 +493,9 @@ func (p *Placer) Kill(id int) (requeued int, err error) {
 		rec.Retries++
 	}
 	p.queue = append(lost, p.queue...)
-	if err := p.drainLocked(); err != nil {
+	p.version++
+	p.mu.Unlock()
+	if err := p.drain(); err != nil {
 		return len(lost), err
 	}
 	return len(lost), nil
@@ -402,13 +566,25 @@ func (p *Placer) countsLocked() sched.Counts {
 	return counts
 }
 
-// drainLocked runs the scheduler over the backlog until it stops placing.
-// Queued applications the current library no longer knows (possible after
-// a hot-swap to a different census) fail loudly instead of wedging the
-// queue head.
-func (p *Placer) drainLocked() error {
+// schedPlan is one immutable scheduling input: the head of the backlog,
+// the free-pool census and the load signal, stamped with the state
+// version they were captured at. Scoring runs against it lock-free.
+type schedPlan struct {
+	version uint64
+	view    ModelView
+	ids     []string // queue prefix the batch was built from
+	batch   []sched.Task
+	counts  sched.Counts
+	load    sched.Load
+}
+
+// planLocked evicts queue entries the current library cannot score, then
+// builds the next scheduling input. ok is false when there is nothing to
+// schedule (empty backlog or no free slots).
+func (p *Placer) planLocked() (plan schedPlan, ok bool) {
 	view := p.models.View()
-	// Evict unknowable queue entries first.
+	// Evict unknowable queue entries first (possible after a hot-swap to a
+	// different census): fail loudly instead of wedging the queue head.
 	kept := p.queue[:0]
 	for _, id := range p.queue {
 		rec := p.placements[id]
@@ -419,60 +595,118 @@ func (p *Placer) drainLocked() error {
 		rec.Status = StatusFailed
 		rec.Error = fmt.Sprintf("application %q unknown to generation %d library", rec.App, view.Gen)
 		p.finishLocked(id)
+		p.version++
 	}
 	p.queue = kept
 
-	for len(p.queue) > 0 {
-		if p.freeSlotsLocked() == 0 {
+	if len(p.queue) == 0 || p.freeSlotsLocked() == 0 {
+		return schedPlan{}, false
+	}
+	n := view.Scheduler.BatchSize()
+	if n > len(p.queue) {
+		n = len(p.queue)
+	}
+	ids := append([]string(nil), p.queue[:n]...)
+	batch := make([]sched.Task, n)
+	for i, id := range ids {
+		batch[i] = sched.Task{ID: int64(i), App: p.placements[id].App}
+	}
+	// TotalSlots reflects schedulable capacity: lost machines shrink the
+	// utilization the adaptive policies see, exactly as in the simulator.
+	available, _ := p.capacityLocked()
+	return schedPlan{
+		version: p.version,
+		view:    view,
+		ids:     ids,
+		batch:   batch,
+		counts:  p.countsLocked(),
+		load:    sched.Load{TotalSlots: available, Queued: len(p.queue)},
+	}, true
+}
+
+// commitLocked binds a scheduling pass's decisions to concrete slots. It
+// must be called with the version check already passed (or while the plan
+// was built and committed under one continuous lock hold): the queue
+// prefix still matches plan.ids exactly. done reports whether draining
+// should stop (nothing placed, or the cluster filled mid-batch).
+func (p *Placer) commitLocked(plan schedPlan, placements []sched.Placement) (done bool, err error) {
+	if len(placements) == 0 {
+		return true, nil
+	}
+	placedIDs := map[int64]bool{}
+	for _, pl := range placements {
+		id := plan.ids[pl.Task.ID]
+		if err := p.executeLocked(p.placements[id], pl.Category, plan.view); err != nil {
+			return true, err
+		}
+		placedIDs[pl.Task.ID] = true
+	}
+	kept := p.queue[:0]
+	for i, id := range p.queue {
+		if i >= len(plan.ids) || !placedIDs[int64(i)] {
+			kept = append(kept, id)
+		}
+	}
+	p.queue = kept
+	p.version++
+	return len(placements) < len(plan.batch), nil
+}
+
+// optimisticRetries bounds how many stale-snapshot misses a draining pass
+// tolerates before falling back to scheduling under the lock.
+const optimisticRetries = 3
+
+// drain runs the scheduler over the backlog until it stops placing.
+// Scoring — the expensive part of a pass — runs outside the placer lock
+// against an immutable snapshot; the commit re-takes the lock and applies
+// the decisions only if the state version still matches. A stale snapshot
+// (another submit, completion or lifecycle op landed in between) is
+// recomputed; after optimisticRetries misses the pass schedules under the
+// lock, which cannot miss.
+func (p *Placer) drain() error {
+	misses := 0
+	for {
+		p.mu.Lock()
+		plan, ok := p.planLocked()
+		if !ok {
+			p.mu.Unlock()
 			return nil
 		}
-		n := view.Scheduler.BatchSize()
-		if n > len(p.queue) {
-			n = len(p.queue)
-		}
-		batch := make([]sched.Task, n)
-		for i, id := range p.queue[:n] {
-			batch[i] = sched.Task{ID: int64(i), App: p.placements[id].App}
-		}
-		// TotalSlots reflects schedulable capacity: lost machines shrink the
-		// utilization the adaptive policies see, exactly as in the simulator.
-		totalUp := 0
-		for i := range p.machines {
-			if p.machines[i].state == MachineUp {
-				totalUp += SlotsPerMachine
+		if misses >= optimisticRetries {
+			// Contention fallback: plan, score and commit under one hold.
+			placements, err := plan.view.Scheduler.Schedule(plan.batch, plan.counts, plan.load)
+			if err != nil {
+				p.mu.Unlock()
+				return fmt.Errorf("serve: scheduling: %w", err)
 			}
+			done, err := p.commitLocked(plan, placements)
+			p.mu.Unlock()
+			if err != nil || done {
+				return err
+			}
+			misses = 0
+			continue
 		}
-		load := sched.Load{TotalSlots: totalUp, Queued: len(p.queue)}
-		placements, err := view.Scheduler.Schedule(batch, p.countsLocked(), load)
+		p.mu.Unlock()
+
+		placements, err := plan.view.Scheduler.Schedule(plan.batch, plan.counts, plan.load)
 		if err != nil {
 			return fmt.Errorf("serve: scheduling: %w", err)
 		}
-		if len(placements) == 0 {
-			return nil
+
+		p.mu.Lock()
+		if p.version != plan.version {
+			p.mu.Unlock()
+			misses++
+			continue
 		}
-		// Map the decisions onto concrete machines in order; each executed
-		// placement updates the inventory the next mapping reads, exactly
-		// like sched.Counts.take does inside the scheduler.
-		placedIDs := map[int64]bool{}
-		for _, pl := range placements {
-			id := p.queue[pl.Task.ID]
-			if err := p.executeLocked(p.placements[id], pl.Category, view); err != nil {
-				return err
-			}
-			placedIDs[pl.Task.ID] = true
+		done, err := p.commitLocked(plan, placements)
+		p.mu.Unlock()
+		if err != nil || done {
+			return err
 		}
-		kept := p.queue[:0]
-		for i, id := range p.queue {
-			if !placedIDs[int64(i)] {
-				kept = append(kept, id)
-			}
-		}
-		p.queue = kept
-		if len(placements) < n {
-			return nil // cluster full mid-batch
-		}
+		misses = 0
 	}
-	return nil
 }
 
 // executeLocked binds a scheduling decision to a concrete (machine, slot).

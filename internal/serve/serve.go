@@ -5,6 +5,7 @@
 // stdlib-only JSON HTTP API:
 //
 //	POST /v1/tasks                    submit a task for placement
+//	POST /v1/tasks:batch              submit a batch; one queue-aware pass
 //	GET  /v1/placements/{id}          placement lifecycle record
 //	POST /v1/placements/{id}/complete free the slot, report the outcome
 //	GET  /v1/machines                 inventory with per-VM occupancy
@@ -62,6 +63,15 @@ type Config struct {
 	// the reference path the cache is validated against.
 	CacheCap     int
 	DisableCache bool
+	// CoalesceWindow, when positive, micro-batches singleton submissions:
+	// a POST /v1/tasks waits up to this long for companions, then one
+	// queue-aware scheduling pass places the whole group. Zero disables
+	// coalescing (each submission schedules immediately).
+	CoalesceWindow time.Duration
+	// BatchMax caps one scheduling pass's batch: the coalescer flushes
+	// early at this size and POST /v1/tasks:batch refuses larger requests
+	// (DefaultBatchMax if 0).
+	BatchMax int
 	// Retrain, when set, enables drift-triggered and manual hot-swap.
 	Retrain Retrainer
 	// Drift tunes the detector; zero values take monitor defaults.
@@ -81,11 +91,15 @@ type Server struct {
 	swapper   *SwapManager
 	admission *Admission
 	cache     *PredCache // nil when disabled
+	coalescer *Coalescer // nil when CoalesceWindow is zero
+	batchMax  int
 
-	reg      *obs.Registry
-	latency  *obs.Histogram
-	decision *obs.Histogram
-	start    time.Time
+	reg       *obs.Registry
+	latency   *obs.Histogram
+	decision  *obs.Histogram
+	batchSize *obs.Histogram
+	batchLat  *obs.Histogram
+	start     time.Time
 }
 
 // New builds a Server serving placements from lib.
@@ -101,13 +115,21 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	placer, err := NewPlacer(ms, cfg.Machines, cfg.CompletedCap)
-	if err != nil {
-		return nil, err
-	}
 	maxQueue := cfg.MaxQueue
 	if maxQueue == 0 {
 		maxQueue = 4 * SlotsPerMachine * cfg.Machines
+	}
+	// The placer owns the admission bound: the scaled queue check and the
+	// enqueue happen under one critical section, so concurrent submits can
+	// never race the backlog past the bound.
+	admission := NewAdmission(cfg.MaxInflight, maxQueue)
+	placer, err := NewPlacer(ms, admission, cfg.Machines, cfg.CompletedCap)
+	if err != nil {
+		return nil, err
+	}
+	batchMax := cfg.BatchMax
+	if batchMax <= 0 {
+		batchMax = DefaultBatchMax
 	}
 	reg := obs.NewRegistry()
 	s := &Server{
@@ -115,12 +137,18 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 		models:    ms,
 		placer:    placer,
 		swapper:   NewSwapManager(ms, cfg.Retrain, cfg.Drift, cfg.SyncRetrain),
-		admission: NewAdmission(cfg.MaxInflight, maxQueue),
+		admission: admission,
 		cache:     cache,
+		batchMax:  batchMax,
 		reg:       reg,
 		latency:   reg.Histogram("serve.request_seconds", obs.DefaultLatencyBuckets()),
 		decision:  reg.Histogram("serve.decision_seconds", obs.DefaultLatencyBuckets()),
+		batchSize: reg.Histogram("serve.batch_size", obs.BatchSizeBuckets()),
+		batchLat:  reg.Histogram("serve.batch_decision_seconds", obs.DefaultLatencyBuckets()),
 		start:     time.Now(),
+	}
+	if cfg.CoalesceWindow > 0 {
+		s.coalescer = NewCoalescer(placer, cfg.CoalesceWindow, batchMax, reg)
 	}
 	return s, nil
 }
@@ -148,6 +176,7 @@ func (s *Server) Drain() { s.swapper.Wait() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tasks", s.timed(s.handleSubmit))
+	mux.HandleFunc("POST /v1/tasks:batch", s.timed(s.handleSubmitBatch))
 	mux.HandleFunc("GET /v1/placements/{id}", s.timed(s.handleGetPlacement))
 	mux.HandleFunc("POST /v1/placements/{id}/complete", s.timed(s.handleComplete))
 	mux.HandleFunc("GET /v1/machines", s.timed(s.handleMachines))
@@ -188,23 +217,9 @@ type errorResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if !s.admission.TryAcquire() {
-		s.reject(w, 1, "too many in-flight submissions")
-		return
-	}
-	defer s.admission.Release()
-	// The queue bound scales with schedulable capacity: a degraded cluster
-	// sheds load early, and the Retry-After hint stretches as capacity
-	// shrinks so clients back off harder the worse things are.
-	available, total := s.placer.Capacity()
-	if s.admission.QueueFullScaled(s.placer.QueueDepth(), available, total) {
-		reason := "placement queue is full"
-		if available == 0 {
-			reason = "no machines in service"
-		}
-		s.reject(w, retryAfter(available, total), reason)
-		return
-	}
+	// Decode the body BEFORE claiming an in-flight token: a slow client
+	// streaming its request must not pin one of the admission slots —
+	// admission covers only the placement decision itself.
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
@@ -214,9 +229,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"app\""})
 		return
 	}
+	if !s.admission.TryAcquire() {
+		s.reject(w, 1, 1, "too many in-flight submissions")
+		return
+	}
+	defer s.admission.Release()
 	t0 := time.Now()
-	rec, err := s.placer.Submit(req.App)
+	var (
+		rec *Placement
+		err error
+	)
+	if s.coalescer != nil {
+		rec, err = s.coalescer.Submit(req.App)
+	} else {
+		rec, err = s.placer.Submit(req.App)
+	}
 	s.decision.Observe(time.Since(t0).Seconds())
+	if errors.Is(err, ErrQueueFull) {
+		// The queue bound scales with schedulable capacity: a degraded
+		// cluster sheds load early, and the Retry-After hint stretches as
+		// capacity shrinks so clients back off harder the worse things are.
+		snap := s.placer.Snapshot()
+		reason := "placement queue is full"
+		if snap.Available == 0 {
+			reason = "no machines in service"
+		}
+		s.reject(w, retryAfter(snap.Available, snap.Total), 1, reason)
+		return
+	}
 	if err != nil {
 		s.placementError(w, err)
 		return
@@ -229,6 +269,115 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.observeGauges()
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// BatchRequest is the POST /v1/tasks:batch body.
+type BatchRequest struct {
+	Tasks []BatchTask `json:"tasks"`
+}
+
+// BatchTask is one submission inside a batch.
+type BatchTask struct {
+	App string `json:"app"`
+}
+
+// BatchTaskResult is one task's outcome, positional with the request.
+type BatchTaskResult struct {
+	// Placement is set when the task was admitted (placed or queued).
+	Placement *Placement `json:"placement,omitempty"`
+	// Rejected marks a task shed by the admission bound.
+	Rejected bool `json:"rejected,omitempty"`
+	// Error carries a per-task failure (unknown application, queue full).
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/tasks:batch response: per-task outcomes
+// plus aggregate counts. The HTTP status is 200 whenever the batch itself
+// was well-formed — individual tasks may still be rejected or fail, and
+// RetryAfterS carries the backoff hint when any were shed.
+type BatchResponse struct {
+	Results     []BatchTaskResult `json:"results"`
+	Placed      int               `json:"placed"`
+	Queued      int               `json:"queued"`
+	Rejected    int               `json:"rejected"`
+	Failed      int               `json:"failed"`
+	RetryAfterS int               `json:"retry_after_s,omitempty"`
+}
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Tasks) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty \"tasks\""})
+		return
+	}
+	if len(req.Tasks) > s.batchMax {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d exceeds the %d-task limit", len(req.Tasks), s.batchMax)})
+		return
+	}
+	apps := make([]string, len(req.Tasks))
+	for i, task := range req.Tasks {
+		if task.App == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("missing \"app\" in task %d", i)})
+			return
+		}
+		apps[i] = task.App
+	}
+	// One batch claims one in-flight token: it is one scheduling decision.
+	if !s.admission.TryAcquire() {
+		s.reject(w, 1, len(apps), "too many in-flight submissions")
+		return
+	}
+	defer s.admission.Release()
+
+	t0 := time.Now()
+	outcomes, err := s.placer.SubmitBatch(apps)
+	elapsed := time.Since(t0).Seconds()
+	s.decision.Observe(elapsed)
+	s.batchLat.Observe(elapsed)
+	s.batchSize.Observe(float64(len(apps)))
+	if err != nil {
+		s.placementError(w, err)
+		return
+	}
+
+	resp := BatchResponse{Results: make([]BatchTaskResult, len(outcomes))}
+	for i, o := range outcomes {
+		switch {
+		case errors.Is(o.Err, ErrQueueFull):
+			resp.Results[i] = BatchTaskResult{Rejected: true, Error: o.Err.Error()}
+			resp.Rejected++
+		case o.Err != nil:
+			resp.Results[i] = BatchTaskResult{Error: o.Err.Error()}
+			resp.Failed++
+			if errors.Is(o.Err, model.ErrUnknownApp) {
+				s.reg.Counter("serve.tasks_rejected_unknown_app").Inc()
+			}
+		default:
+			resp.Results[i] = BatchTaskResult{Placement: o.Placement}
+			s.reg.Counter("serve.tasks_submitted").Inc()
+			if o.Placement.Status == StatusPlaced {
+				resp.Placed++
+				s.reg.Counter("serve.tasks_placed").Inc()
+			} else {
+				resp.Queued++
+				s.reg.Counter("serve.tasks_queued").Inc()
+			}
+		}
+	}
+	s.reg.Counter("serve.batches").Inc()
+	if resp.Rejected > 0 {
+		snap := s.placer.Snapshot()
+		resp.RetryAfterS = retryAfter(snap.Available, snap.Total)
+		w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfterS))
+		s.admission.CountRejections(resp.Rejected)
+	}
+	s.observeGauges()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGetPlacement(w http.ResponseWriter, r *http.Request) {
@@ -355,15 +504,16 @@ func (s *Server) handleSwap(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	view := s.models.View()
+	snap := s.placer.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
 		"kind":        view.Lib.Kind.String(),
 		"generation":  view.Gen,
 		"apps":        view.Lib.Apps(),
 		"machines":    len(s.placer.machines),
-		"free_slots":  s.placer.FreeSlots(),
-		"up_machines": upMachines(s.placer),
-		"queue_depth": s.placer.QueueDepth(),
+		"free_slots":  snap.FreeSlots,
+		"up_machines": snap.Available / SlotsPerMachine,
+		"queue_depth": snap.QueueDepth,
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"latency":     s.latency.Latency(),
 	})
@@ -375,17 +525,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // observeGauges refreshes the point-in-time metrics from their owners.
+// The placer's load state is read through one Snapshot so the exported
+// queue depth and capacity describe the same instant.
 func (s *Server) observeGauges() {
-	s.reg.Gauge("serve.queue_depth").Set(float64(s.placer.QueueDepth()))
-	s.reg.Gauge("serve.free_slots").Set(float64(s.placer.FreeSlots()))
-	available, total := s.placer.Capacity()
-	s.reg.Gauge("serve.available_slots").Set(float64(available))
-	s.reg.Gauge("serve.total_slots").Set(float64(total))
+	snap := s.placer.Snapshot()
+	s.reg.Gauge("serve.queue_depth").Set(float64(snap.QueueDepth))
+	s.reg.Gauge("serve.free_slots").Set(float64(snap.FreeSlots))
+	s.reg.Gauge("serve.available_slots").Set(float64(snap.Available))
+	s.reg.Gauge("serve.total_slots").Set(float64(snap.Total))
 	s.reg.Gauge("serve.generation").Set(float64(s.models.Generation()))
 	s.reg.Gauge("serve.model_swaps").Set(float64(s.models.Swaps()))
 	s.reg.Gauge("serve.drift_fires").Set(float64(s.swapper.DriftFires()))
 	s.reg.Gauge("serve.retrain_errors").Set(float64(s.swapper.RetrainErrors()))
-	s.reg.Gauge("serve.admission_rejected").Set(float64(s.admission.Rejected()))
+	s.reg.Gauge("serve.rejected").Set(float64(s.admission.Rejected()))
 	if s.cache != nil {
 		st := s.cache.Stats()
 		s.reg.Gauge("serve.cache_hits").Set(float64(st.Hits))
@@ -395,11 +547,13 @@ func (s *Server) observeGauges() {
 	}
 }
 
-// reject answers 429 with a retry hint.
-func (s *Server) reject(w http.ResponseWriter, after int, reason string) {
+// reject answers 429 with a retry hint and records n refused submissions
+// against the admission valve — the single place a rejection is counted,
+// exported as the serve.rejected gauge.
+func (s *Server) reject(w http.ResponseWriter, after, n int, reason string) {
 	w.Header().Set("Retry-After", strconv.Itoa(after))
 	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: reason})
-	s.reg.Counter("serve.tasks_rejected").Inc()
+	s.admission.CountRejections(n)
 }
 
 // retryAfterCap bounds the Retry-After hint (seconds).
@@ -435,16 +589,11 @@ func (s *Server) placementError(w http.ResponseWriter, err error) {
 	}
 }
 
-// upMachines counts the machines currently in service.
-func upMachines(p *Placer) int {
-	available, _ := p.Capacity()
-	return available / SlotsPerMachine
-}
-
+// writeJSON emits compact JSON: responses are machine-consumed (load
+// generators, pollers), and on the submit path the encoder is a measurable
+// share of per-request CPU — pipe through jq for human reading.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = json.NewEncoder(w).Encode(v)
 }

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# bench_serve.sh — capture the PR-4 serving benchmarks into one JSON file:
+# bench_serve.sh — capture the serving benchmarks into one JSON file:
 #   1. go-test benchmarks of the prediction cache's hit path vs uncached
-#      regression scoring (NLM and Forest families), and
-#   2. a fixed-seed traconload run (throughput, p50/p95/p99) against a
-#      freshly trained tracond.
+#      regression scoring (NLM and Forest families),
+#   2. a fixed-seed singleton traconload run (throughput, p50/p95/p99)
+#      against a freshly trained tracond, and
+#   3. a batched-burst traconload run (-batch 8 via POST /v1/tasks:batch)
+#      against the same daemon, so one queue-aware scheduling pass covers
+#      each task group. Two workers keep 16 tasks in flight — exactly the
+#      8-machine cluster's slot count, a burst the batch path absorbs
+#      without queueing; more tasks per run damp the short-run variance.
 # Usage: bench_serve.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr7.json}"
 workdir="$(mktemp -d)"
 daemon_pid=""
 
@@ -39,24 +44,30 @@ addr="$(tr -d '\n' <"$workdir/port")"
 
 "$workdir/traconload" \
     -addr "$addr" -tasks 500 -concurrency 8 -seed 1 -json \
-    >"$workdir/load.json"
+    >"$workdir/load_singleton.json"
+
+"$workdir/traconload" \
+    -addr "$addr" -tasks 2000 -concurrency 2 -batch 8 -seed 1 -json \
+    >"$workdir/load_batched.json"
 
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=""
 
-# Stitch the two captures into one artifact: the go-test event stream
-# under "cache_benchmarks" (one event per line) and the load summary
-# under "load".
+# Stitch the captures into one artifact: the go-test event stream under
+# "cache_benchmarks" (one event per line) and the two load summaries.
 {
     echo '{'
-    echo '  "bench": "pr4-serving",'
-    echo '  "config": {"machines": 8, "model": "NLM", "policy": "mios", "seed": 1, "tasks": 500, "concurrency": 8},'
+    echo '  "bench": "pr7-serving",'
+    echo '  "config": {"machines": 8, "model": "NLM", "policy": "mios", "seed": 1, "singleton": {"tasks": 500, "concurrency": 8}, "batched": {"tasks": 2000, "concurrency": 2, "batch": 8}},'
     echo '  "cache_benchmarks": ['
     sed -e 's/^/    /' -e '$!s/$/,/' "$workdir/cache.json"
     echo '  ],'
-    echo '  "load": '
-    sed 's/^/  /' "$workdir/load.json"
+    echo '  "load_singleton": '
+    sed 's/^/  /' "$workdir/load_singleton.json"
+    echo '  ,'
+    echo '  "load_batched": '
+    sed 's/^/  /' "$workdir/load_batched.json"
     echo '}'
 } >"$out"
 

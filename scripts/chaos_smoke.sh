@@ -77,7 +77,7 @@ if [[ -n "$failed" && "$failed" -ne 0 ]]; then
 fi
 
 # The drill must leave every machine back in service.
-down="$(curl -sf "http://$addr/v1/machines" | grep -c '"state": "down"' || true)"
+down="$(curl -sf "http://$addr/v1/machines" | grep -c '"state": *"down"' || true)"
 if [[ "$down" -ne 0 ]]; then
     echo "chaos-smoke: $down machines still down after the drill" >&2
     exit 1
