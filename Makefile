@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race audit trace serve-smoke chaos fuzz-smoke bench bench-json bench-serve clean
+.PHONY: ci vet build test race audit trace serve-smoke obs-smoke chaos fuzz-smoke bench bench-json bench-serve clean
 
-ci: vet build test race audit trace serve-smoke chaos fuzz-smoke
+ci: vet build test race audit trace serve-smoke obs-smoke chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,12 @@ trace:
 # traconload burst, assert non-zero completions and a clean SIGTERM drain.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Observability smoke test: boot tracond with JSON logs, drive a scraped
+# traconload burst, then assert Prometheus exposition shape, serve-trace
+# span balance and Perfetto conversion, X-Request-Id echo, and /v1/slo.
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Chaos gate: the simulator-side fault-injection suite (crash recovery,
 # retry/backoff/timeout, golden determinism under faults), the serve-side

@@ -11,7 +11,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tracon/internal/model"
+	"tracon/internal/obs"
 	"tracon/internal/sched"
 	"tracon/internal/serve"
 	"tracon/internal/workload"
@@ -47,9 +48,21 @@ func main() {
 		syncRetrain = flag.Bool("sync-retrain", false, "run drift-triggered retrains on the request path (deterministic)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
+		traceCap    = flag.Int("trace-cap", 0, "serving-span ring capacity for GET /v1/trace (0 = default, negative = off)")
+		sloWindow   = flag.Duration("slo-window", 0, "rolling SLO evaluation window (0 = default 1m)")
+		sloP99      = flag.Float64("slo-p99", 0, "latency objective: rolling p99 seconds (0 = default 0.25, negative = off)")
+		sloErrRate  = flag.Float64("slo-error-rate", 0, "error budget: rolling error fraction (0 = default 0.01, negative = off)")
+		statsEvery  = flag.Duration("stats-interval", 0, "runtime self-stats sampling period (0 = default 5s, negative = off)")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracond: %v\n", err)
+		os.Exit(1)
+	}
 	if err := run(daemonConfig{
 		addr: *addr, portFile: *portFile, machines: *machines,
 		kindName: *kindName, policy: *policy, queueLen: *queueLen,
@@ -57,8 +70,29 @@ func main() {
 		modelsOut: *modelsOut, maxInflight: *maxInflight, maxQueue: *maxQueue,
 		batchWindow: *batchWindow, batchMax: *batchMax,
 		syncRetrain: *syncRetrain, cpuProf: *cpuProf, memProf: *memProf,
+		logger: logger, traceCap: *traceCap, sloWindow: *sloWindow,
+		sloP99: *sloP99, sloErrRate: *sloErrRate, statsEvery: *statsEvery,
 	}); err != nil {
-		log.Fatalf("tracond: %v", err)
+		logger.Error("fatal", "err", err.Error())
+		os.Exit(1)
+	}
+}
+
+// newLogger builds the daemon's slog root from the -log-format and
+// -log-level flags. Logs go to stderr; stdout stays clean for tooling.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 	}
 }
 
@@ -75,6 +109,11 @@ type daemonConfig struct {
 	batchMax              int
 	syncRetrain           bool
 	cpuProf, memProf      string
+	logger                *slog.Logger
+	traceCap              int
+	sloWindow             time.Duration
+	sloP99, sloErrRate    float64
+	statsEvery            time.Duration
 }
 
 func run(cfg daemonConfig) error {
@@ -118,10 +157,12 @@ func run(cfg daemonConfig) error {
 			return err
 		}
 		if lib.Kind != kind {
-			log.Printf("serving %v library from %s (overrides -model %v)", lib.Kind, cfg.modelsIn, kind)
+			cfg.logger.Warn("loaded library overrides -model flag",
+				"loaded", lib.Kind.String(), "flag", kind.String(), "path", cfg.modelsIn)
 		}
 		brain = &trainer{lib: lib}
-		log.Printf("loaded %v library (%d apps) from %s", lib.Kind, len(lib.Apps()), cfg.modelsIn)
+		cfg.logger.Info("loaded model library",
+			"kind", lib.Kind.String(), "apps", len(lib.Apps()), "path", cfg.modelsIn)
 	} else {
 		t0 := time.Now()
 		brain, err = trainLibrary(kind, cfg.seed)
@@ -129,7 +170,9 @@ func run(cfg daemonConfig) error {
 			return err
 		}
 		lib = brain.lib
-		log.Printf("trained %v library (%d apps) in %v", kind, len(lib.Apps()), time.Since(t0).Round(time.Millisecond))
+		cfg.logger.Info("trained model library",
+			"kind", kind.String(), "apps", len(lib.Apps()),
+			"dur", time.Since(t0).Round(time.Millisecond).String())
 	}
 	if cfg.modelsOut != "" {
 		f, err := os.Create(cfg.modelsOut)
@@ -143,7 +186,7 @@ func run(cfg daemonConfig) error {
 		if err != nil {
 			return fmt.Errorf("saving library: %w", err)
 		}
-		log.Printf("saved library to %s", cfg.modelsOut)
+		cfg.logger.Info("saved model library", "path", cfg.modelsOut)
 	}
 
 	srv, err := serve.New(lib, serve.Config{
@@ -157,9 +200,18 @@ func run(cfg daemonConfig) error {
 		BatchMax:       cfg.batchMax,
 		Retrain:        brain.retrain,
 		SyncRetrain:    cfg.syncRetrain,
+		Logger:         cfg.logger,
+		TraceCap:       cfg.traceCap,
+		SLOWindow:      cfg.sloWindow,
+		SLOLatencyP99:  cfg.sloP99,
+		SLOErrorRate:   cfg.sloErrRate,
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.statsEvery >= 0 {
+		sampler := obs.StartRuntimeStats(srv.Registry(), cfg.statsEvery)
+		defer sampler.Stop()
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -172,9 +224,10 @@ func run(cfg daemonConfig) error {
 		}
 	}
 	if cfg.batchWindow > 0 {
-		log.Printf("coalescing submissions for up to %v per scheduling pass", cfg.batchWindow)
+		cfg.logger.Info("coalescing enabled", "window", cfg.batchWindow.String())
 	}
-	log.Printf("serving %d machines (%s policy) on http://%s", cfg.machines, cfg.policy, ln.Addr())
+	cfg.logger.Info("serving",
+		"machines", cfg.machines, "policy", cfg.policy, "addr", ln.Addr().String())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -187,7 +240,7 @@ func run(cfg daemonConfig) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("signal received, draining")
+	cfg.logger.Info("signal received, draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -197,7 +250,8 @@ func run(cfg daemonConfig) error {
 		return err
 	}
 	srv.Drain()
-	log.Printf("drained cleanly (%d swaps, %d drift fires)", srv.ModelSet().Swaps(), srv.Swapper().DriftFires())
+	cfg.logger.Info("drained cleanly",
+		"swaps", srv.ModelSet().Swaps(), "drift_fires", srv.Swapper().DriftFires())
 
 	if cfg.memProf != "" {
 		f, err := os.Create(cfg.memProf)

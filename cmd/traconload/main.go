@@ -62,6 +62,8 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the summary as JSON")
 		chaos       = flag.Bool("chaos", false, "kill and revive random machines during the run; tasks must survive via the daemon's re-queue")
 		chaosEvery  = flag.Duration("chaos-interval", 200*time.Millisecond, "interval between -chaos kill/revive actions")
+		scrape      = flag.Bool("scrape", false, "sample the daemon's Prometheus endpoint during the run and report the server-side submit latency next to the client's")
+		scrapeEvery = flag.Duration("scrape-interval", 250*time.Millisecond, "-scrape sampling period")
 	)
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func main() {
 		rate:  *rate, seed: *seed, apps: *apps, noise: *noise, drift: *drift,
 		pollEvery: *pollEvery, timeout: *timeout,
 		chaos: *chaos, chaosEvery: *chaosEvery,
+		scrape: *scrape, scrapeEvery: *scrapeEvery,
 	})
 	if err != nil {
 		log.Fatalf("traconload: %v", err)
@@ -101,6 +104,8 @@ type loadConfig struct {
 	timeout     time.Duration
 	chaos       bool
 	chaosEvery  time.Duration
+	scrape      bool
+	scrapeEvery time.Duration
 }
 
 // summary is the run report (the -json shape).
@@ -125,6 +130,21 @@ type summary struct {
 	ChaosKills   int64 `json:"chaos_kills,omitempty"`
 	ChaosRevives int64 `json:"chaos_revives,omitempty"`
 	Retried      int64 `json:"retried,omitempty"`
+	// Server is the daemon's own view of the run, sampled from its
+	// Prometheus endpoint (-scrape): the submit route's server-side latency
+	// over exactly the scraped window, for side-by-side comparison with
+	// SubmitLatency. A client/server p99 gap is network + client overhead.
+	Server *serverSummary `json:"server,omitempty"`
+}
+
+// serverSummary is the -scrape report: the delta between the first and
+// last scrape of the submit route's cumulative latency histogram.
+type serverSummary struct {
+	Route    string             `json:"route"`
+	Scrapes  int64              `json:"scrapes"`
+	Requests int64              `json:"requests"`
+	Latency  obs.LatencySummary `json:"latency_s"`
+	Error    string             `json:"error,omitempty"`
 }
 
 func (s summary) text() string {
@@ -137,6 +157,15 @@ func (s summary) text() string {
 	fmt.Fprintf(&b, "completed   %d in %.2fs → %.1f tasks/s\n", s.Completed, s.WallSeconds, s.ThroughputPS)
 	fmt.Fprintf(&b, "submit lat  p50 %.1fµs  p95 %.1fµs  p99 %.1fµs\n",
 		s.SubmitLatency.P50*1e6, s.SubmitLatency.P95*1e6, s.SubmitLatency.P99*1e6)
+	if s.Server != nil {
+		if s.Server.Error != "" {
+			fmt.Fprintf(&b, "server lat  scrape failed: %s\n", s.Server.Error)
+		} else {
+			fmt.Fprintf(&b, "server lat  p50 %.1fµs  p95 %.1fµs  p99 %.1fµs  (%s, %d reqs, %d scrapes)\n",
+				s.Server.Latency.P50*1e6, s.Server.Latency.P95*1e6, s.Server.Latency.P99*1e6,
+				s.Server.Route, s.Server.Requests, s.Server.Scrapes)
+		}
+	}
 	fmt.Fprintf(&b, "e2e lat     p50 %.1fµs  p95 %.1fµs  p99 %.1fµs\n",
 		s.E2ELatency.P50*1e6, s.E2ELatency.P95*1e6, s.E2ELatency.P99*1e6)
 	fmt.Fprintf(&b, "model gen   %d\n", s.FinalGen)
@@ -185,6 +214,10 @@ func run(cfg loadConfig) (summary, error) {
 	}
 
 	start := time.Now()
+	var scr *scraper
+	if cfg.scrape {
+		scr = l.startScraper()
+	}
 	var chaosStop chan struct{}
 	var chaosDone chan struct{}
 	if cfg.chaos {
@@ -230,8 +263,100 @@ func run(cfg loadConfig) (summary, error) {
 		sum.ChaosRevives = l.revives.Load()
 		sum.Retried = l.retried.Load()
 	}
+	if scr != nil {
+		sum.Server = scr.finish()
+	}
 	sum.FinalGen = l.finalGeneration()
 	return sum, nil
+}
+
+// submitRoute is the route label whose server-side histogram -scrape
+// compares against the client's submit latency.
+func (l *loader) submitRoute() string {
+	if l.cfg.batch > 1 {
+		return "/v1/tasks:batch"
+	}
+	return "/v1/tasks"
+}
+
+// scraper samples the daemon's Prometheus endpoint for the duration of a
+// run. Server-side latency comes from the delta between the first and the
+// last scrape of the submit route's cumulative histogram — exactly the
+// requests the run put through, even against a daemon that served earlier
+// traffic.
+type scraper struct {
+	l          *loader
+	route      string
+	first      obs.PromHistogram
+	last       obs.PromHistogram
+	scrapes    int64
+	err        error
+	stop, done chan struct{}
+}
+
+// scrapeOnce fetches and parses one exposition sample of the submit route.
+func (l *loader) scrapeOnce(route string) (obs.PromHistogram, error) {
+	resp, err := l.client.Get(l.cfg.base + "/metrics?format=prometheus")
+	if err != nil {
+		return obs.PromHistogram{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return obs.PromHistogram{}, fmt.Errorf("scrape: HTTP %d", resp.StatusCode)
+	}
+	return obs.ParsePrometheusHistogram(resp.Body,
+		"serve_http_request_seconds", map[string]string{"route": route})
+}
+
+// startScraper takes the baseline sample and starts the sampling loop.
+func (l *loader) startScraper() *scraper {
+	s := &scraper{
+		l: l, route: l.submitRoute(),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	s.first, s.err = l.scrapeOnce(s.route)
+	s.last, s.scrapes = s.first, 1
+	go s.loop()
+	return s
+}
+
+func (s *scraper) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.l.cfg.scrapeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			if h, err := s.l.scrapeOnce(s.route); err == nil {
+				s.last = h
+				s.scrapes++
+			}
+		}
+	}
+}
+
+// finish stops the loop, takes the closing sample and builds the report.
+func (s *scraper) finish() *serverSummary {
+	close(s.stop)
+	<-s.done
+	if h, err := s.l.scrapeOnce(s.route); err == nil {
+		s.last = h
+		s.scrapes++
+	} else if s.err == nil {
+		s.err = err
+	}
+	out := &serverSummary{Route: s.route, Scrapes: s.scrapes}
+	if s.err != nil {
+		out.Error = s.err.Error()
+		return out
+	}
+	window := s.last.Sub(s.first).Snapshot()
+	out.Requests = window.N
+	out.Latency = window.Latency()
+	return out
 }
 
 // machineCount asks the daemon for its inventory size.

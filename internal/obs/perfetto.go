@@ -104,8 +104,17 @@ func WritePerfetto(w io.Writer, run *RunTrace) error {
 	}
 
 	var lastT float64
+	serveSeen := false
 	for _, ev := range run.Events {
 		lastT = ev.T
+		// Serving-path spans (schema 3) carry their own payload and never
+		// share an event with the simulator kinds; render them on their own
+		// tracks so a tracond export opens in the same UI.
+		if ev.Serve != nil {
+			serveSeen = true
+			writeServeEvent(&out, ev, schedPID, machineMeta)
+			continue
+		}
 		switch ev.Kind {
 		case "enqueue":
 			e := ev.Enqueue
@@ -219,9 +228,122 @@ func WritePerfetto(w io.Writer, run *RunTrace) error {
 		meta(m+1, 1, "thread_name", "vm0")
 		meta(m+1, 2, "thread_name", "vm1")
 	}
+	if serveSeen {
+		meta(schedPID, serveTaskTID, "thread_name", "tasks")
+		meta(schedPID, serveCoalesceTID, "thread_name", "coalesce")
+		meta(schedPID, serveSchedTID, "thread_name", "sched")
+	}
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// Serving-run track layout on the scheduler process: task lifecycle
+// spans (admit→complete, async, keyed by the numeric placement ID),
+// coalescer waits, and scheduling passes.
+const (
+	serveTaskTID     = 1
+	serveCoalesceTID = 2
+	serveSchedTID    = 3
+)
+
+// serveTaskNum extracts the numeric part of a "t-<n>" placement ID for
+// use as an async-span key; ok is false for foreign ID shapes.
+func serveTaskNum(task string) (int64, bool) {
+	var n int64
+	seen := false
+	for i := 0; i < len(task); i++ {
+		if c := task[i]; c >= '0' && c <= '9' {
+			n = n*10 + int64(c-'0')
+			seen = true
+		}
+	}
+	return n, seen
+}
+
+// writeServeEvent renders one serving-path span. Interval spans
+// (coalesce_wait, score, batch_pass) are stamped at their end with DurS,
+// so the complete-span start is ts − dur; lifecycle events become async
+// b/e pairs (admit → complete) plus instants on the machine tracks.
+func writeServeEvent(out *perfettoFile, ev TraceEvent, schedPID int, machineMeta func(int)) {
+	sv := ev.Serve
+	ts := ev.T * usPerSec
+	args := map[string]interface{}{}
+	if sv.Req != "" {
+		args["req"] = sv.Req
+	}
+	if sv.Task != "" {
+		args["task"] = sv.Task
+	}
+	if sv.App != "" {
+		args["app"] = sv.App
+	}
+	switch ev.Kind {
+	case "admit":
+		if id, ok := serveTaskNum(sv.Task); ok {
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: sv.App, Cat: "task", Ph: "b", TS: ts,
+				PID: schedPID, TID: serveTaskTID, ID: &id, Args: args,
+			})
+		}
+	case "complete":
+		if id, ok := serveTaskNum(sv.Task); ok {
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: sv.App, Cat: "task", Ph: "e", TS: ts,
+				PID: schedPID, TID: serveTaskTID, ID: &id,
+			})
+		}
+		if sv.Machine >= 0 {
+			machineMeta(sv.Machine)
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: "complete", Cat: "serve", Ph: "i", TS: ts, Scope: "t",
+				PID: sv.Machine + 1, TID: sv.Slot + 1, Args: args,
+			})
+		}
+	case "place", "evict_requeue":
+		if sv.Machine >= 0 {
+			machineMeta(sv.Machine)
+			if sv.Neighbour != "" {
+				args["neighbour"] = sv.Neighbour
+			}
+			if sv.Predicted > 0 {
+				args["pred"] = sv.Predicted
+			}
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: ev.Kind, Cat: "serve", Ph: "i", TS: ts, Scope: "t",
+				PID: sv.Machine + 1, TID: sv.Slot + 1, Args: args,
+			})
+		}
+	case "reject":
+		if sv.Reason != "" {
+			args["reason"] = sv.Reason
+		}
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: "reject", Cat: "admission", Ph: "i", TS: ts, Scope: "t",
+			PID: schedPID, TID: serveTaskTID, Args: args,
+		})
+	case "coalesce_wait":
+		dur := sv.DurS * usPerSec
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: sv.App, Cat: "coalesce", Ph: "X", TS: ts - dur, Dur: &dur,
+			PID: schedPID, TID: serveCoalesceTID, Args: args,
+		})
+	case "score", "batch_pass":
+		dur := sv.DurS * usPerSec
+		args["batch"] = sv.Batch
+		if ev.Kind == "batch_pass" {
+			args["placed"] = sv.Placed
+		}
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: ev.Kind, Cat: "sched", Ph: "X", TS: ts - dur, Dur: &dur,
+			PID: schedPID, TID: serveSchedTID, Args: args,
+		})
+	default: // plan_commit, plan_retry, plan_fallback, future kinds
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: ev.Kind, Cat: "sched", Ph: "i", TS: ts, Scope: "t",
+			PID: schedPID, TID: serveSchedTID, Args: args,
+		})
+	}
 }
 
 // WritePerfetto renders this tracer's retained events (a convenience for

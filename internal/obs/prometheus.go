@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) over a Registry snapshot.
+// The registry stays stdlib-only and name-keyed; metrics that need labels
+// encode them in the name via Labeled ("base{k=\"v\"}"), and the renderer
+// splits them back out so a standard scraper sees proper label sets.
+// Histograms render the cumulative _bucket/_sum/_count series the format
+// requires (the registry stores per-bucket counts; the renderer accumulates).
+
+// PrometheusContentType is the exposition-format content type.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Labeled encodes a label set into a registry metric name:
+// Labeled("serve.http_requests", "route", "/v1/tasks", "code", "2xx")
+// → `serve.http_requests{code="2xx",route="/v1/tasks"}`. Pairs are sorted
+// by key so the same label set always produces the same registry key, and
+// values are escaped the way the exposition format expects, so the name
+// can be emitted verbatim.
+func Labeled(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: Labeled needs key/value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeName(p.k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition format's label-value escaping:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sanitizeName maps a registry name onto the exposition format's metric
+// name alphabet [a-zA-Z0-9_:]: dots and anything else illegal become
+// underscores, and a leading digit gets an underscore prefix.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitName separates a (possibly Labeled) registry name into the
+// sanitized metric name and the raw label body ("" when unlabeled).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return sanitizeName(name[:i]), name[i+1 : len(name)-1]
+	}
+	return sanitizeName(name), ""
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// series writes one sample line: name{labels} value.
+func series(w io.Writer, name, labels string, value float64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(value))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(value))
+	return err
+}
+
+// joinLabels appends extra label assignments to an existing raw label body.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format. Points sharing a base name form one metric family:
+// a single # TYPE line followed by every labeled series. Histograms emit
+// cumulative _bucket series (ending in le="+Inf"), then _sum and _count.
+// The snapshot is already sorted, so the output is deterministic.
+func WritePrometheus(w io.Writer, points []MetricPoint) error {
+	bw := bufio.NewWriter(w)
+	// Group points by (kind, base name) preserving snapshot order: every
+	// family must be contiguous with exactly one TYPE line.
+	typed := map[string]bool{}
+	for _, pt := range points {
+		base, labels := splitName(pt.Name)
+		kind := pt.Kind
+		if !typed[kind+" "+base] {
+			typed[kind+" "+base] = true
+			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", base, kind); err != nil {
+				return err
+			}
+		}
+		switch kind {
+		case "counter", "gauge":
+			if err := series(bw, base, labels, pt.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			h := pt.Hist
+			if h == nil {
+				continue
+			}
+			var cum int64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				le := joinLabels(labels, `le="`+formatFloat(bound)+`"`)
+				if err := series(bw, base+"_bucket", le, float64(cum)); err != nil {
+					return err
+				}
+			}
+			inf := joinLabels(labels, `le="+Inf"`)
+			if err := series(bw, base+"_bucket", inf, float64(h.N)); err != nil {
+				return err
+			}
+			if err := series(bw, base+"_sum", labels, h.Sum); err != nil {
+				return err
+			}
+			if err := series(bw, base+"_count", labels, float64(h.N)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// PromHistogram is one histogram family read back from an exposition
+// scrape: cumulative bucket counts keyed by le, plus sum and count.
+type PromHistogram struct {
+	// Bounds are the finite le bounds in ascending order; Cumulative the
+	// matching cumulative counts. Count includes the +Inf bucket.
+	Bounds     []float64
+	Cumulative []int64
+	Sum        float64
+	Count      int64
+}
+
+// Snapshot converts the cumulative scrape form back into the registry's
+// per-bucket HistogramSnapshot (the overflow bucket absorbs count beyond
+// the last finite bound), so quantile estimation is shared with the
+// in-process path.
+func (p PromHistogram) Snapshot() HistogramSnapshot {
+	counts := make([]int64, len(p.Bounds)+1)
+	var prev int64
+	for i, c := range p.Cumulative {
+		counts[i] = c - prev
+		prev = c
+	}
+	counts[len(p.Bounds)] = p.Count - prev
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), p.Bounds...),
+		Counts: counts,
+		Sum:    p.Sum,
+		N:      p.Count,
+	}
+}
+
+// Sub returns the per-window difference p − base of two cumulative scrapes
+// of the same histogram (matching bounds). Prometheus histograms are
+// monotone, so the difference is itself a valid histogram: the samples
+// observed between the two scrapes.
+func (p PromHistogram) Sub(base PromHistogram) PromHistogram {
+	out := PromHistogram{
+		Bounds: append([]float64(nil), p.Bounds...),
+		Sum:    p.Sum - base.Sum,
+		Count:  p.Count - base.Count,
+	}
+	out.Cumulative = make([]int64, len(p.Cumulative))
+	for i := range p.Cumulative {
+		out.Cumulative[i] = p.Cumulative[i]
+		if i < len(base.Cumulative) {
+			out.Cumulative[i] -= base.Cumulative[i]
+		}
+	}
+	return out
+}
+
+// ParsePrometheusHistogram extracts one histogram family from an
+// exposition-format scrape. name is the sanitized metric name (without
+// the _bucket suffix); want restricts matches to series carrying all the
+// given label assignments (nil matches the family's unlabeled series).
+func ParsePrometheusHistogram(r io.Reader, name string, want map[string]string) (PromHistogram, error) {
+	var out PromHistogram
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	seen := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, labels, value, err := parsePromLine(line)
+		if err != nil {
+			return out, err
+		}
+		switch metric {
+		case name + "_bucket":
+			if !labelsMatch(labels, want) {
+				continue
+			}
+			le, ok := labels["le"]
+			if !ok {
+				return out, fmt.Errorf("obs: %s_bucket without le label", name)
+			}
+			seen = true
+			if le == "+Inf" {
+				continue // Count comes from _count (and must agree)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return out, fmt.Errorf("obs: bad le %q: %w", le, err)
+			}
+			out.Bounds = append(out.Bounds, bound)
+			out.Cumulative = append(out.Cumulative, int64(value))
+		case name + "_sum":
+			if !labelsMatch(labels, want) {
+				continue
+			}
+			seen = true
+			out.Sum = value
+		case name + "_count":
+			if !labelsMatch(labels, want) {
+				continue
+			}
+			seen = true
+			out.Count = int64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if !seen {
+		return out, fmt.Errorf("obs: histogram %q not found in scrape", name)
+	}
+	return out, nil
+}
+
+// labelsMatch reports whether got carries every assignment in want.
+func labelsMatch(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromLine splits one exposition sample line into metric name, label
+// map and value, undoing label-value escaping.
+func parsePromLine(line string) (string, map[string]string, float64, error) {
+	name := line
+	labels := map[string]string{}
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("obs: malformed sample %q", line)
+		}
+		body := line[i+1 : j]
+		rest = strings.TrimSpace(line[j+1:])
+		for len(body) > 0 {
+			eq := strings.IndexByte(body, '=')
+			if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("obs: malformed labels in %q", line)
+			}
+			key := strings.TrimSpace(body[:eq])
+			// Scan the quoted value honouring backslash escapes.
+			val := strings.Builder{}
+			k := eq + 2
+			for ; k < len(body); k++ {
+				c := body[k]
+				if c == '\\' && k+1 < len(body) {
+					k++
+					switch body[k] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(body[k])
+					}
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			if k >= len(body) {
+				return "", nil, 0, fmt.Errorf("obs: unterminated label value in %q", line)
+			}
+			labels[key] = val.String()
+			body = strings.TrimPrefix(strings.TrimSpace(body[k+1:]), ",")
+			body = strings.TrimSpace(body)
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", nil, 0, fmt.Errorf("obs: malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("obs: bad value in %q: %w", line, err)
+	}
+	return name, labels, v, nil
+}

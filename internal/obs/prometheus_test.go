@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledSortsAndEscapes(t *testing.T) {
+	got := Labeled("serve.http_requests", "route", "/v1/tasks", "code", "2xx")
+	want := `serve.http_requests{code="2xx",route="/v1/tasks"}`
+	if got != want {
+		t.Fatalf("Labeled = %q, want %q", got, want)
+	}
+	// Same pairs, different order → same registry key.
+	if again := Labeled("serve.http_requests", "code", "2xx", "route", "/v1/tasks"); again != got {
+		t.Fatalf("Labeled not order-independent: %q vs %q", again, got)
+	}
+	// Exposition escaping: backslash, quote, newline.
+	esc := Labeled("m", "k", "a\\b\"c\nd")
+	if want := `m{k="a\\b\"c\nd"}`; esc != want {
+		t.Fatalf("escaped Labeled = %q, want %q", esc, want)
+	}
+}
+
+func TestLabeledOddPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Labeled with odd kv count did not panic")
+		}
+	}()
+	Labeled("m", "key-without-value")
+}
+
+func TestSanitizeName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"serve.request_seconds", "serve_request_seconds"},
+		{"a-b c", "a_b_c"},
+		{"9lives", "_9lives"},
+		{"ok_name:sub", "ok_name:sub"},
+	} {
+		if got := sanitizeName(tc.in); got != tc.want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// testRegistry builds the fixture the golden file and the parser tests
+// share: every metric kind, labeled and unlabeled, with values chosen to
+// exercise bucket accumulation.
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("serve.tasks_submitted").Add(42)
+	reg.Counter(Labeled("serve.http_requests", "code", "2xx", "route", "/v1/tasks")).Add(40)
+	reg.Counter(Labeled("serve.http_requests", "code", "4xx", "route", "/v1/tasks")).Add(2)
+	reg.Gauge("serve.queue_depth").Set(7)
+	h := reg.Histogram(Labeled("serve.http_request_seconds", "route", "/v1/tasks"), []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusWellFormed asserts the structural exposition rules on
+// the rendered output: one TYPE line per family, cumulative bucket series
+// ending at le="+Inf" equal to _count, and monotone bucket counts.
+func TestWritePrometheusWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	typeSeen := map[string]int{}
+	var lastCum float64 = -1
+	var infVal, countVal float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			typeSeen[fields[2]+" "+fields[3]]++
+			continue
+		}
+		name, labels, v, err := parsePromLine(line)
+		if err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+		for _, r := range name {
+			ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+			if !ok {
+				t.Errorf("metric name %q outside the exposition alphabet", name)
+			}
+		}
+		if name == "serve_http_request_seconds_bucket" {
+			if labels["le"] == "+Inf" {
+				infVal = v
+				continue
+			}
+			if v < lastCum {
+				t.Errorf("bucket counts not cumulative: le=%s has %v after %v", labels["le"], v, lastCum)
+			}
+			lastCum = v
+		}
+		if name == "serve_http_request_seconds_count" {
+			countVal = v
+		}
+	}
+	for fam, n := range typeSeen {
+		if n != 1 {
+			t.Errorf("family %q has %d TYPE lines", fam, n)
+		}
+	}
+	if infVal != countVal || infVal != 5 {
+		t.Errorf("le=+Inf bucket %v and _count %v must both equal 5", infVal, countVal)
+	}
+}
+
+func TestParsePrometheusHistogramRoundTrip(t *testing.T) {
+	reg := testRegistry()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	ph, err := ParsePrometheusHistogram(&buf,
+		"serve_http_request_seconds", map[string]string{"route": "/v1/tasks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ph.Snapshot()
+	orig := reg.Histogram(Labeled("serve.http_request_seconds", "route", "/v1/tasks"), nil).Snapshot()
+	if snap.N != orig.N || snap.Sum != orig.Sum {
+		t.Fatalf("round-trip N/Sum = %d/%v, want %d/%v", snap.N, snap.Sum, orig.N, orig.Sum)
+	}
+	for i := range orig.Counts {
+		if snap.Counts[i] != orig.Counts[i] {
+			t.Fatalf("bucket %d: %d != %d", i, snap.Counts[i], orig.Counts[i])
+		}
+	}
+	if got, want := snap.Quantile(0.5), orig.Quantile(0.5); got != want {
+		t.Fatalf("round-trip p50 %v != %v", got, want)
+	}
+}
+
+func TestPromHistogramSub(t *testing.T) {
+	base := PromHistogram{Bounds: []float64{1, 2}, Cumulative: []int64{3, 5}, Sum: 4, Count: 6}
+	later := PromHistogram{Bounds: []float64{1, 2}, Cumulative: []int64{10, 14}, Sum: 20, Count: 16}
+	d := later.Sub(base)
+	if d.Count != 10 || d.Sum != 16 {
+		t.Fatalf("Sub count/sum = %d/%v, want 10/16", d.Count, d.Sum)
+	}
+	if d.Cumulative[0] != 7 || d.Cumulative[1] != 9 {
+		t.Fatalf("Sub cumulative = %v, want [7 9]", d.Cumulative)
+	}
+	snap := d.Snapshot()
+	// Per-bucket: 7, 2, overflow 10-9=1.
+	if snap.Counts[0] != 7 || snap.Counts[1] != 2 || snap.Counts[2] != 1 {
+		t.Fatalf("Sub snapshot counts = %v, want [7 2 1]", snap.Counts)
+	}
+}
+
+// TestSnapshotStableUnderConcurrentWriters hammers one registry from many
+// goroutines while snapshotting: every snapshot must keep the sorted
+// (kind, name) order and never tear (run under -race in CI).
+func TestSnapshotStableUnderConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Counter(fmt.Sprintf("c.%d", w)).Inc()
+				reg.Gauge(fmt.Sprintf("g.%d", w)).Set(float64(i))
+				reg.Histogram(Labeled("h", "w", strconv.Itoa(w)), []float64{1, 2, 4}).Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		points := reg.Snapshot()
+		for j := 1; j < len(points); j++ {
+			a, b := points[j-1], points[j]
+			if a.Kind > b.Kind || (a.Kind == b.Kind && a.Name >= b.Name) {
+				t.Fatalf("snapshot %d unsorted at %d: (%s %s) before (%s %s)",
+					i, j, a.Kind, a.Name, b.Kind, b.Name)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, points); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime self-stats: a background sampler that publishes the Go
+// runtime's own health signals (goroutine count, heap in use, GC work)
+// into a Registry as gauges, so the daemon's process vitals ride the
+// same /metrics surface — JSON and Prometheus — as its serving metrics.
+
+// DefaultRuntimeStatsInterval is the default sampling period.
+const DefaultRuntimeStatsInterval = 5 * time.Second
+
+// RuntimeSampler periodically snapshots runtime.MemStats into a registry.
+type RuntimeSampler struct {
+	reg   *Registry
+	every time.Duration
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// StartRuntimeStats samples immediately (so the gauges exist before the
+// first scrape), then every interval until Stop. every <= 0 takes the
+// default.
+func StartRuntimeStats(reg *Registry, every time.Duration) *RuntimeSampler {
+	if every <= 0 {
+		every = DefaultRuntimeStatsInterval
+	}
+	s := &RuntimeSampler{
+		reg:   reg,
+		every: every,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.Sample()
+	go s.loop()
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.Sample()
+		}
+	}
+}
+
+// Sample takes one reading now. ReadMemStats briefly stops the world, so
+// the interval should stay in whole seconds under serving load.
+func (s *RuntimeSampler) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge("runtime.heap_inuse_bytes").Set(float64(ms.HeapInuse))
+	s.reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	s.reg.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	s.reg.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	s.reg.Gauge("runtime.gc_runs").Set(float64(ms.NumGC))
+}
+
+// Stop halts the sampler and waits for its goroutine to exit.
+func (s *RuntimeSampler) Stop() {
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuntimeStatsSampleAndStop(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeStats(reg, time.Hour) // immediate sample, then idle
+	defer s.Stop()
+	if g := reg.Gauge("runtime.goroutines").Value(); g <= 0 {
+		t.Fatalf("runtime.goroutines = %v, want > 0", g)
+	}
+	if g := reg.Gauge("runtime.heap_alloc_bytes").Value(); g <= 0 {
+		t.Fatalf("runtime.heap_alloc_bytes = %v, want > 0", g)
+	}
+	// The gauges must ride the standard export surfaces.
+	found := false
+	for _, pt := range reg.Snapshot() {
+		if pt.Name == "runtime.heap_inuse_bytes" && pt.Kind == "gauge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runtime gauges missing from Snapshot")
+	}
+}
+
+func TestRuntimeStatsStopIdempotentExit(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeStats(reg, time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let a few ticks land
+	s.Stop()                         // must not deadlock or race
+}

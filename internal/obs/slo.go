@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Rolling-window SLO evaluation for the serving daemon: a latency
+// objective (p99 of the last window must stay under a target) and an
+// error-rate objective (the fraction of failed requests must stay under
+// an error budget). The window is a ring of fixed time slices, so memory
+// is constant and expired samples age out without heap churn; Report
+// merges the live slices into one HistogramSnapshot and reuses the
+// registry's quantile estimator, keeping the SLO's p99 arithmetic
+// identical to /metrics and the load generator.
+
+// SLOConfig tunes a tracker. Zero values take the defaults.
+type SLOConfig struct {
+	// Window is the rolling evaluation window (DefaultSLOWindow if 0).
+	Window time.Duration
+	// Slices is the ring granularity (DefaultSLOSlices if 0): a sample
+	// ages out after at most Window + Window/Slices.
+	Slices int
+	// LatencyP99 is the latency objective in seconds: the rolling p99 must
+	// stay at or under it (DefaultSLOLatencyP99 if 0; negative disables).
+	LatencyP99 float64
+	// ErrorRate is the error budget: the rolling error fraction must stay
+	// at or under it (DefaultSLOErrorRate if 0; negative disables).
+	ErrorRate float64
+	// Buckets are the latency histogram bounds (DefaultLatencyBuckets if
+	// nil). The p99 resolution is the bucket resolution.
+	Buckets []float64
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+// SLO defaults: a minute-scale window sliced into 5-second buckets, a
+// 250ms p99 placement-path objective, and a 1% error budget.
+const (
+	DefaultSLOSlices     = 12
+	DefaultSLOLatencyP99 = 0.25
+	DefaultSLOErrorRate  = 0.01
+)
+
+// DefaultSLOWindow is the default rolling evaluation window.
+const DefaultSLOWindow = time.Minute
+
+// SLO status values. StatusNoData marks an empty window: objectives are
+// vacuously met, and healthz reports ok.
+const (
+	SLOStatusOK       = "ok"
+	SLOStatusDegraded = "degraded"
+	SLOStatusNoData   = "no_data"
+)
+
+// sloSlice is one time slice of the rolling window.
+type sloSlice struct {
+	epoch    int64 // slice index since the epoch; -1 = never used
+	counts   []int64
+	sum      float64
+	n        int64
+	errors   int64
+	requests int64
+}
+
+// SLOTracker evaluates the rolling objectives. Safe for concurrent use.
+type SLOTracker struct {
+	cfg    SLOConfig
+	width  time.Duration // one slice's span
+	bounds []float64
+
+	mu     sync.Mutex
+	slices []sloSlice
+}
+
+// NewSLOTracker builds a tracker from cfg (zero values take defaults).
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultSLOWindow
+	}
+	if cfg.Slices <= 0 {
+		cfg.Slices = DefaultSLOSlices
+	}
+	if cfg.LatencyP99 == 0 {
+		cfg.LatencyP99 = DefaultSLOLatencyP99
+	}
+	if cfg.ErrorRate == 0 {
+		cfg.ErrorRate = DefaultSLOErrorRate
+	}
+	if cfg.Buckets == nil {
+		cfg.Buckets = DefaultLatencyBuckets()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	t := &SLOTracker{
+		cfg:    cfg,
+		width:  cfg.Window / time.Duration(cfg.Slices),
+		bounds: append([]float64(nil), cfg.Buckets...),
+	}
+	t.slices = make([]sloSlice, cfg.Slices)
+	for i := range t.slices {
+		t.slices[i] = sloSlice{epoch: -1, counts: make([]int64, len(t.bounds)+1)}
+	}
+	return t
+}
+
+// sliceLocked resolves the live slice for the current instant, recycling
+// any slice whose epoch has rotated out of the window.
+func (t *SLOTracker) sliceLocked(now time.Time) *sloSlice {
+	epoch := now.UnixNano() / int64(t.width)
+	s := &t.slices[int(epoch%int64(len(t.slices)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.sum, s.n, s.errors, s.requests = 0, 0, 0, 0
+	}
+	return s
+}
+
+// Record folds one request into the window: its latency in seconds and
+// whether it counts against the error budget.
+func (t *SLOTracker) Record(latencySeconds float64, isError bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.sliceLocked(t.cfg.Now())
+	s.requests++
+	if isError {
+		s.errors++
+	}
+	s.sum += latencySeconds
+	s.n++
+	for i, b := range t.bounds {
+		if latencySeconds <= b {
+			s.counts[i]++
+			return
+		}
+	}
+	s.counts[len(t.bounds)]++
+}
+
+// SLOReport is the GET /v1/slo body: the rolling window's observed
+// latency digest and error rate against the configured objectives.
+type SLOReport struct {
+	WindowS  float64 `json:"window_s"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	// ErrorRate is errors/requests over the window (0 when empty).
+	ErrorRate float64 `json:"error_rate"`
+	// ErrorBudgetLeft is the unburned fraction of the error budget:
+	// 1 = untouched, 0 = exhausted, negative = overspent.
+	ErrorBudgetLeft float64        `json:"error_budget_left"`
+	Latency         LatencySummary `json:"latency_s"`
+	// Objectives echo the configured targets (≤ 0 = disabled).
+	LatencyObjectiveP99S float64 `json:"latency_objective_p99_s"`
+	ErrorRateObjective   float64 `json:"error_rate_objective"`
+	// LatencyOK / ErrorsOK are the per-objective verdicts; Status is
+	// "ok", "degraded", or "no_data" for an empty window.
+	LatencyOK bool   `json:"latency_ok"`
+	ErrorsOK  bool   `json:"errors_ok"`
+	Status    string `json:"status"`
+}
+
+// Report evaluates the objectives over the slices still inside the window.
+func (t *SLOTracker) Report() SLOReport {
+	t.mu.Lock()
+	now := t.cfg.Now()
+	oldest := now.UnixNano()/int64(t.width) - int64(len(t.slices)) + 1
+	merged := HistogramSnapshot{
+		Bounds: append([]float64(nil), t.bounds...),
+		Counts: make([]int64, len(t.bounds)+1),
+	}
+	var errors, requests int64
+	for i := range t.slices {
+		s := &t.slices[i]
+		if s.epoch < oldest {
+			continue
+		}
+		for j, c := range s.counts {
+			merged.Counts[j] += c
+		}
+		merged.Sum += s.sum
+		merged.N += s.n
+		errors += s.errors
+		requests += s.requests
+	}
+	t.mu.Unlock()
+
+	rep := SLOReport{
+		WindowS:              t.cfg.Window.Seconds(),
+		Requests:             requests,
+		Errors:               errors,
+		Latency:              merged.Latency(),
+		LatencyObjectiveP99S: t.cfg.LatencyP99,
+		ErrorRateObjective:   t.cfg.ErrorRate,
+	}
+	if requests == 0 {
+		rep.LatencyOK, rep.ErrorsOK = true, true
+		rep.ErrorBudgetLeft = 1
+		rep.Status = SLOStatusNoData
+		return rep
+	}
+	rep.ErrorRate = float64(errors) / float64(requests)
+	rep.LatencyOK = t.cfg.LatencyP99 <= 0 || rep.Latency.P99 <= t.cfg.LatencyP99
+	if t.cfg.ErrorRate > 0 {
+		rep.ErrorBudgetLeft = 1 - rep.ErrorRate/t.cfg.ErrorRate
+		rep.ErrorsOK = rep.ErrorRate <= t.cfg.ErrorRate
+	} else {
+		rep.ErrorBudgetLeft = 1
+		rep.ErrorsOK = true
+	}
+	if rep.LatencyOK && rep.ErrorsOK {
+		rep.Status = SLOStatusOK
+	} else {
+		rep.Status = SLOStatusDegraded
+	}
+	return rep
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives an SLOTracker deterministically.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time              { return c.now }
+func (c *fakeClock) advance(d time.Duration)     { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock                   { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+func sloCfg(clk *fakeClock, cfg SLOConfig) SLOConfig {
+	cfg.Now = clk.Now
+	return cfg
+}
+
+func TestSLOEmptyWindowIsNoData(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(sloCfg(clk, SLOConfig{}))
+	rep := tr.Report()
+	if rep.Status != SLOStatusNoData {
+		t.Fatalf("empty window status = %q, want %q", rep.Status, SLOStatusNoData)
+	}
+	if !rep.LatencyOK || !rep.ErrorsOK || rep.ErrorBudgetLeft != 1 {
+		t.Fatalf("empty window must be vacuously healthy: %+v", rep)
+	}
+}
+
+func TestSLOOKWithinObjectives(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(sloCfg(clk, SLOConfig{Window: time.Minute, LatencyP99: 0.25, ErrorRate: 0.1}))
+	for i := 0; i < 200; i++ {
+		tr.Record(0.001, false)
+	}
+	rep := tr.Report()
+	if rep.Status != SLOStatusOK {
+		t.Fatalf("status = %q, want ok: %+v", rep.Status, rep)
+	}
+	if rep.Requests != 200 || rep.Errors != 0 || rep.ErrorBudgetLeft != 1 {
+		t.Fatalf("unexpected accounting: %+v", rep)
+	}
+}
+
+func TestSLODegradedOnLatency(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(sloCfg(clk, SLOConfig{LatencyP99: 0.01}))
+	for i := 0; i < 100; i++ {
+		tr.Record(0.5, false) // every request far over the objective
+	}
+	rep := tr.Report()
+	if rep.Status != SLOStatusDegraded || rep.LatencyOK {
+		t.Fatalf("latency breach not flagged: %+v", rep)
+	}
+	if !rep.ErrorsOK {
+		t.Fatalf("error objective wrongly flagged: %+v", rep)
+	}
+}
+
+func TestSLODegradedOnErrorBudget(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(sloCfg(clk, SLOConfig{ErrorRate: 0.01}))
+	for i := 0; i < 100; i++ {
+		tr.Record(0.001, i < 5) // 5% errors against a 1% budget
+	}
+	rep := tr.Report()
+	if rep.Status != SLOStatusDegraded || rep.ErrorsOK {
+		t.Fatalf("error breach not flagged: %+v", rep)
+	}
+	if rep.ErrorRate != 0.05 {
+		t.Fatalf("error rate = %v, want 0.05", rep.ErrorRate)
+	}
+	// 5% observed against 1% budget = 5× overspent.
+	if rep.ErrorBudgetLeft != 1-5.0 {
+		t.Fatalf("budget left = %v, want -4", rep.ErrorBudgetLeft)
+	}
+}
+
+func TestSLOWindowAgesOut(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(sloCfg(clk, SLOConfig{Window: time.Minute, Slices: 12, ErrorRate: 0.01}))
+	for i := 0; i < 50; i++ {
+		tr.Record(1.0, true) // all errors, all slow
+	}
+	if rep := tr.Report(); rep.Status != SLOStatusDegraded {
+		t.Fatalf("expected degraded: %+v", rep)
+	}
+	// One full window later the bad slice has rotated out.
+	clk.advance(time.Minute + 10*time.Second)
+	rep := tr.Report()
+	if rep.Status != SLOStatusNoData || rep.Requests != 0 {
+		t.Fatalf("stale samples survived the window: %+v", rep)
+	}
+	// And fresh, healthy traffic reports ok again.
+	for i := 0; i < 50; i++ {
+		tr.Record(0.001, false)
+	}
+	if rep := tr.Report(); rep.Status != SLOStatusOK {
+		t.Fatalf("recovery not visible: %+v", rep)
+	}
+}
+
+func TestSLOSliceRecycling(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(sloCfg(clk, SLOConfig{Window: 12 * time.Second, Slices: 12}))
+	// Walk two full window rotations, one request per slice.
+	for i := 0; i < 24; i++ {
+		tr.Record(0.001, false)
+		clk.advance(time.Second)
+	}
+	rep := tr.Report()
+	// Only the last window's worth of slices may remain.
+	if rep.Requests > 12 {
+		t.Fatalf("window holds %d requests, cap is 12", rep.Requests)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("window empty after continuous traffic")
+	}
+}
+
+func TestSLODisabledObjectives(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(sloCfg(clk, SLOConfig{LatencyP99: -1, ErrorRate: -1}))
+	for i := 0; i < 10; i++ {
+		tr.Record(10, true) // terrible by any enabled objective
+	}
+	rep := tr.Report()
+	if rep.Status != SLOStatusOK {
+		t.Fatalf("disabled objectives must never degrade: %+v", rep)
+	}
+}
+
+func TestSLOP99MatchesHistogramQuantile(t *testing.T) {
+	clk := newFakeClock()
+	bounds := DefaultLatencyBuckets()
+	tr := NewSLOTracker(sloCfg(clk, SLOConfig{Buckets: bounds}))
+	ref := NewHistogram(bounds)
+	for i := 0; i < 1000; i++ {
+		v := 0.0001 * float64(i%37+1)
+		tr.Record(v, false)
+		ref.Observe(v)
+	}
+	rep := tr.Report()
+	if got, want := rep.Latency.P99, ref.Snapshot().Latency().P99; got != want {
+		t.Fatalf("SLO p99 %v != registry-path p99 %v", got, want)
+	}
+}

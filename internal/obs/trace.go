@@ -31,8 +31,12 @@ import (
 
 // TraceSchema versions the NDJSON stream. Schema 2 added the fault event
 // kinds (fail, timeout, evict, retry, lost, machine_down, machine_up);
-// ReadTraces still accepts schema-1 streams, which simply predate them.
-const TraceSchema = 2
+// schema 3 added the serving-path span kinds carried in the Serve payload
+// (admit, reject, coalesce_wait, batch_pass, score, plan_commit,
+// plan_retry, plan_fallback, place, complete, evict_requeue — the last
+// three distinguished from their simulator namesakes by the payload).
+// ReadTraces still accepts older streams, which simply predate them.
+const TraceSchema = 3
 
 // minTraceSchema is the oldest schema ReadTraces accepts.
 const minTraceSchema = 1
@@ -63,6 +67,38 @@ type TraceEvent struct {
 	Complete *CompleteInfo `json:"complete,omitempty"`
 	Fault    *FaultInfo    `json:"fault,omitempty"`
 	Done     *DoneInfo     `json:"done,omitempty"`
+	Serve    *ServeInfo    `json:"serve,omitempty"`
+}
+
+// ServeInfo is the payload of every serving-path span (schema 3): the
+// online daemon's request lifecycle, joinable end to end by Req (the
+// submission's X-Request-Id) and Task (the placement ID). T on the
+// enclosing event is seconds since the daemon started. Spans that cover
+// an interval (coalesce_wait, score, batch_pass) carry their duration in
+// DurS and are stamped at the interval's end.
+type ServeInfo struct {
+	// Req is the request ID of the submission that created the task; on
+	// admit/reject it is the current request's ID.
+	Req string `json:"req,omitempty"`
+	// Task is the placement ID ("t-<n>").
+	Task string `json:"task,omitempty"`
+	App  string `json:"app,omitempty"`
+	// Machine and Slot locate placement-bound events (-1 when not bound).
+	Machine int `json:"m"`
+	Slot    int `json:"s"`
+	// Neighbour is the co-located application at placement time.
+	Neighbour string `json:"nb,omitempty"`
+	// Batch and Placed describe one scheduling pass (batch_pass, score).
+	Batch  int `json:"batch,omitempty"`
+	Placed int `json:"placed,omitempty"`
+	// DurS is the span's duration in seconds (interval spans only).
+	DurS float64 `json:"dur_s,omitempty"`
+	// Reason carries the shed/failure reason (reject).
+	Reason string `json:"reason,omitempty"`
+	// Predicted is the model's runtime forecast at placement (place).
+	Predicted float64 `json:"pred,omitempty"`
+	// Gen is the model generation that made the decision (place).
+	Gen uint64 `json:"gen,omitempty"`
 }
 
 // ArrivalInfo records one task arrival.
@@ -201,6 +237,10 @@ func (t *Tracer) record(ev TraceEvent) {
 	t.total++
 	t.mu.Unlock()
 }
+
+// Append records one externally built event (the serving daemon's span
+// emitters); Seq is stamped by the ring exactly as for sim events.
+func (t *Tracer) Append(ev TraceEvent) { t.record(ev) }
 
 // Total returns the number of events emitted (dropped ones included).
 func (t *Tracer) Total() int64 {

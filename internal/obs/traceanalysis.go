@@ -414,11 +414,170 @@ func (r *RunTrace) Faults() *FaultReport {
 	return rep
 }
 
+// ServeAppStats aggregates one application's serving-path lifecycle.
+type ServeAppStats struct {
+	App       string
+	Admits    int
+	Places    int
+	Completes int
+	// MeanWait is the mean admit→place delay, MeanLifetime the mean
+	// admit→complete span (seconds), over tasks whose events are all in
+	// the ring.
+	MeanWait     float64
+	MeanLifetime float64
+}
+
+// ServeSummary is the offline analysis of a tracond trace: span counts by
+// kind, per-app lifecycle joins (by placement ID), and scheduling-pass
+// duration stats.
+type ServeSummary struct {
+	Kinds map[string]int
+	Apps  []ServeAppStats
+	// Passes counts batch_pass spans; PassMeanS/PassMaxS their durations.
+	Passes    int
+	PassMeanS float64
+	PassMaxS  float64
+	// CoalesceMeanS is the mean coalesce_wait duration.
+	Coalesced     int
+	CoalesceMeanS float64
+}
+
+// IsServe reports whether the run carries serving-path spans.
+func (r *RunTrace) IsServe() bool {
+	for _, ev := range r.Events {
+		if ev.Serve != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ServeSummarize computes the serving-run analysis.
+func (r *RunTrace) ServeSummarize() ServeSummary {
+	sum := ServeSummary{Kinds: map[string]int{}}
+	type life struct {
+		app                    string
+		admitT, placeT, endT   float64
+		admit, placed, compled bool
+	}
+	lives := map[string]*life{}
+	get := func(task, app string) *life {
+		l, ok := lives[task]
+		if !ok {
+			l = &life{app: app}
+			lives[task] = l
+		}
+		if l.app == "" {
+			l.app = app
+		}
+		return l
+	}
+	for _, ev := range r.Events {
+		sv := ev.Serve
+		if sv == nil {
+			continue
+		}
+		sum.Kinds[ev.Kind]++
+		switch ev.Kind {
+		case "admit":
+			l := get(sv.Task, sv.App)
+			l.admit, l.admitT = true, ev.T
+		case "place":
+			l := get(sv.Task, sv.App)
+			l.placed, l.placeT = true, ev.T
+		case "complete":
+			l := get(sv.Task, sv.App)
+			l.compled, l.endT = true, ev.T
+		case "batch_pass":
+			sum.Passes++
+			sum.PassMeanS += sv.DurS
+			if sv.DurS > sum.PassMaxS {
+				sum.PassMaxS = sv.DurS
+			}
+		case "coalesce_wait":
+			sum.Coalesced++
+			sum.CoalesceMeanS += sv.DurS
+		}
+	}
+	if sum.Passes > 0 {
+		sum.PassMeanS /= float64(sum.Passes)
+	}
+	if sum.Coalesced > 0 {
+		sum.CoalesceMeanS /= float64(sum.Coalesced)
+	}
+	apps := map[string]*ServeAppStats{}
+	for _, l := range lives {
+		a, ok := apps[l.app]
+		if !ok {
+			a = &ServeAppStats{App: l.app}
+			apps[l.app] = a
+		}
+		if l.admit {
+			a.Admits++
+		}
+		if l.placed {
+			a.Places++
+		}
+		if l.compled {
+			a.Completes++
+		}
+		if l.admit && l.placed {
+			a.MeanWait += l.placeT - l.admitT
+		}
+		if l.admit && l.compled {
+			a.MeanLifetime += l.endT - l.admitT
+		}
+	}
+	for _, a := range apps {
+		if n := min(a.Admits, a.Places); n > 0 {
+			a.MeanWait /= float64(n)
+		}
+		if n := min(a.Admits, a.Completes); n > 0 {
+			a.MeanLifetime /= float64(n)
+		}
+		sum.Apps = append(sum.Apps, *a)
+	}
+	sort.Slice(sum.Apps, func(i, j int) bool { return sum.Apps[i].App < sum.Apps[j].App })
+	return sum
+}
+
+// summarizeServe writes the serving-run report.
+func (r *RunTrace) summarizeServe(w io.Writer) {
+	sum := r.ServeSummarize()
+	fmt.Fprintf(w, "serving-path spans:\n")
+	kinds := make([]string, 0, len(sum.Kinds))
+	for k := range sum.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-14s %6d\n", k, sum.Kinds[k])
+	}
+	fmt.Fprintf(w, "\nper-app lifecycle (admit→place→complete, joined by placement ID):\n")
+	fmt.Fprintf(w, "  %-10s %8s %8s %10s %12s %12s\n", "app", "admits", "places", "completes", "mean wait", "mean life")
+	for _, a := range sum.Apps {
+		fmt.Fprintf(w, "  %-10s %8d %8d %10d %10.2fms %10.2fms\n",
+			a.App, a.Admits, a.Places, a.Completes, a.MeanWait*1e3, a.MeanLifetime*1e3)
+	}
+	if sum.Passes > 0 {
+		fmt.Fprintf(w, "\nscheduling passes: %d (mean %.2fms, max %.2fms)\n",
+			sum.Passes, sum.PassMeanS*1e3, sum.PassMaxS*1e3)
+	}
+	if sum.Coalesced > 0 {
+		fmt.Fprintf(w, "coalesced submissions: %d (mean wait %.2fms)\n",
+			sum.Coalesced, sum.CoalesceMeanS*1e3)
+	}
+}
+
 // Summarize writes the CLI's full human-readable analysis of one run.
 func (r *RunTrace) Summarize(w io.Writer, topK int) {
 	fmt.Fprintf(w, "run %s\n", r.Label)
 	fmt.Fprintf(w, "  scheduler %s, %d machines, %d events (%d dropped)\n",
 		r.Scheduler, r.Machines, r.Total, r.Dropped)
+	if r.IsServe() {
+		r.summarizeServe(w)
+		return
+	}
 	spans := r.TaskSpans()
 	completed := 0
 	for _, s := range spans {

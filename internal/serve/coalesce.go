@@ -40,8 +40,10 @@ type Coalescer struct {
 
 // coalesceEntry is one parked submission and its reply channel.
 type coalesceEntry struct {
-	app string
-	ch  chan coalesceResult
+	app    string
+	reqID  string
+	parked time.Time
+	ch     chan coalesceResult
 }
 
 type coalesceResult struct {
@@ -69,9 +71,15 @@ func NewCoalescer(placer *Placer, window time.Duration, maxBatch int, reg *obs.R
 // outcome. Blocks for at most the coalesce window plus one scheduling
 // pass.
 func (c *Coalescer) Submit(app string) (*Placement, error) {
+	return c.SubmitTagged(app, "")
+}
+
+// SubmitTagged is Submit carrying the originating request ID through the
+// batch to the placement record and its trace spans.
+func (c *Coalescer) SubmitTagged(app, reqID string) (*Placement, error) {
 	ch := make(chan coalesceResult, 1)
 	c.mu.Lock()
-	c.pending = append(c.pending, coalesceEntry{app: app, ch: ch})
+	c.pending = append(c.pending, coalesceEntry{app: app, reqID: reqID, parked: time.Now(), ch: ch})
 	c.waiting.Set(float64(len(c.pending)))
 	if len(c.pending) >= c.maxBatch {
 		batch := c.takeLocked()
@@ -114,11 +122,15 @@ func (c *Coalescer) flush(batch []coalesceEntry) {
 		return
 	}
 	apps := make([]string, len(batch))
+	reqIDs := make([]string, len(batch))
+	t0 := time.Now()
 	for i, e := range batch {
 		apps[i] = e.app
+		reqIDs[i] = e.reqID
+		// The parked interval ends when the flush trips, scheduling excluded.
+		c.placer.tracer.coalesceWait(e.reqID, e.app, t0.Sub(e.parked))
 	}
-	t0 := time.Now()
-	outcomes, err := c.placer.SubmitBatch(apps)
+	outcomes, err := c.placer.SubmitBatchTagged(apps, reqIDs)
 	c.decisionHist.Observe(time.Since(t0).Seconds())
 	c.sizeHist.Observe(float64(len(batch)))
 	for i, e := range batch {

@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tracon/internal/model"
+	"tracon/internal/obs"
+)
+
+func TestRequestIDEchoAndMint(t *testing.T) {
+	s := newTestServer(t, model.NLM, Config{Machines: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	app := testLibrary(t, model.NLM).Apps()[0]
+
+	// A client-supplied ID is echoed and lands on the placement record.
+	body, _ := json.Marshal(submitRequest{App: app})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/tasks", bytes.NewReader(body))
+	req.Header.Set(RequestIDHeader, "client-abc-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "client-abc-1" {
+		t.Fatalf("echoed request id = %q, want client-abc-1", got)
+	}
+	var rec Placement
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ReqID != "client-abc-1" {
+		t.Fatalf("record request_id = %q, want client-abc-1", rec.ReqID)
+	}
+
+	// Without a client ID the daemon mints one.
+	resp3, err := http.Get(ts.URL + "/v1/machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	minted := resp3.Header.Get(RequestIDHeader)
+	if !strings.HasPrefix(minted, "r-") {
+		t.Fatalf("minted request id = %q, want r-... form", minted)
+	}
+}
+
+func TestBatchSharesRequestID(t *testing.T) {
+	s := newTestServer(t, model.NLM, Config{Machines: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	app := testLibrary(t, model.NLM).Apps()[0]
+
+	breq := BatchRequest{Tasks: []BatchTask{{App: app}, {App: app}}}
+	body, _ := json.Marshal(breq)
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/tasks:batch", bytes.NewReader(body))
+	req.Header.Set(RequestIDHeader, "batch-req-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range br.Results {
+		if r.Placement == nil {
+			t.Fatalf("task %d not admitted: %+v", i, r)
+		}
+		if r.Placement.ReqID != "batch-req-7" {
+			t.Fatalf("task %d request_id = %q, want batch-req-7", i, r.Placement.ReqID)
+		}
+	}
+}
+
+// TestTraceSpansJoinable drives tasks through their full lifecycle and
+// asserts the /v1/trace NDJSON stream joins admission to completion by
+// request ID and placement ID, and converts to Perfetto without error.
+func TestTraceSpansJoinable(t *testing.T) {
+	s := newTestServer(t, model.NLM, Config{Machines: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	app := testLibrary(t, model.NLM).Apps()[0]
+
+	body, _ := json.Marshal(submitRequest{App: app})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/tasks", bytes.NewReader(body))
+	req.Header.Set(RequestIDHeader, "trace-req-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Placement
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if code := httpJSON(t, "POST", ts.URL+"/v1/placements/"+rec.ID+"/complete", Observation{Runtime: 1}, nil); code != http.StatusOK {
+		t.Fatalf("complete: status %d", code)
+	}
+
+	traceResp, err := http.Get(ts.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traceResp.Body.Close()
+	if ct := traceResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace content type = %q", ct)
+	}
+	runs, err := obs.ReadTraces(traceResp.Body)
+	if err != nil {
+		t.Fatalf("parsing /v1/trace: %v", err)
+	}
+	if len(runs) != 1 || runs[0].Label != "tracond" {
+		t.Fatalf("trace runs = %+v", runs)
+	}
+
+	kinds := map[string]bool{}
+	for _, ev := range runs[0].Events {
+		sv := ev.Serve
+		if sv == nil {
+			t.Fatalf("non-serve event %q in daemon trace", ev.Kind)
+		}
+		if sv.Task == rec.ID {
+			kinds[ev.Kind] = true
+			switch ev.Kind {
+			case "admit", "place", "complete":
+				if sv.Req != "trace-req-1" {
+					t.Fatalf("%s span request id = %q, want trace-req-1", ev.Kind, sv.Req)
+				}
+			}
+			if ev.Kind == "place" && (sv.Machine < 0 || sv.App != app) {
+				t.Fatalf("place span incomplete: %+v", sv)
+			}
+		}
+	}
+	for _, k := range []string{"admit", "place", "complete"} {
+		if !kinds[k] {
+			t.Fatalf("span kind %q missing for %s (saw %v)", k, rec.ID, kinds)
+		}
+	}
+
+	var perfetto bytes.Buffer
+	if err := obs.WritePerfetto(&perfetto, runs[0]); err != nil {
+		t.Fatalf("perfetto conversion: %v", err)
+	}
+	var probe struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(perfetto.Bytes(), &probe); err != nil {
+		t.Fatalf("perfetto output not JSON: %v", err)
+	}
+	if len(probe.TraceEvents) == 0 {
+		t.Fatal("perfetto conversion produced no events")
+	}
+
+	// The serve-run analysis joins the lifecycle too.
+	sum := runs[0].ServeSummarize()
+	if sum.Kinds["admit"] == 0 || sum.Kinds["complete"] == 0 {
+		t.Fatalf("ServeSummarize kinds = %v", sum.Kinds)
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	s := newTestServer(t, model.NLM, Config{Machines: 1, TraceCap: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("disabled trace status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	s := newTestServer(t, model.NLM, Config{Machines: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	app := testLibrary(t, model.NLM).Apps()[0]
+	if code := httpJSON(t, "POST", ts.URL+"/v1/tasks", submitRequest{App: app}, nil); code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	// Default: JSON snapshot.
+	var points []obs.MetricPoint
+	if code := httpJSON(t, "GET", ts.URL+"/metrics", nil, &points); code != http.StatusOK {
+		t.Fatalf("json metrics: status %d", code)
+	}
+	if len(points) == 0 {
+		t.Fatal("json metrics empty")
+	}
+
+	// ?format=prometheus: exposition text parseable down to the submit
+	// route's histogram.
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("prometheus content type = %q", ct)
+	}
+	ph, err := obs.ParsePrometheusHistogram(resp.Body,
+		"serve_http_request_seconds", map[string]string{"route": "/v1/tasks"})
+	if err != nil {
+		t.Fatalf("parsing scrape: %v", err)
+	}
+	if ph.Count != 1 {
+		t.Fatalf("submit route count = %d, want 1", ph.Count)
+	}
+
+	// Accept header negotiation reaches the same format.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(raw), "# TYPE serve_tasks_submitted counter") {
+		t.Fatalf("Accept negotiation did not yield exposition text:\n%s", raw[:min(len(raw), 200)])
+	}
+
+	// Unknown formats are a client error.
+	resp3, err := http.Get(ts.URL + "/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format status = %d, want 400", resp3.StatusCode)
+	}
+}
+
+// TestOpsRoutesExcluded asserts scrape/probe traffic stays out of the
+// aggregate latency histogram and the SLO window while still appearing in
+// its own per-route series.
+func TestOpsRoutesExcluded(t *testing.T) {
+	s := newTestServer(t, model.NLM, Config{Machines: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		for _, path := range []string{"/metrics", "/healthz", "/v1/slo"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	if n := s.latency.Snapshot().N; n != 0 {
+		t.Fatalf("aggregate request histogram saw %d ops-route requests", n)
+	}
+	rep := s.slo.Report()
+	if rep.Requests != 0 {
+		t.Fatalf("SLO window saw %d ops-route requests", rep.Requests)
+	}
+	perRoute := s.reg.Histogram(obs.Labeled("serve.http_request_seconds", "route", "/metrics"), nil).Snapshot()
+	if perRoute.N != 5 {
+		t.Fatalf("per-route /metrics histogram N = %d, want 5", perRoute.N)
+	}
+
+	// Application traffic DOES feed both.
+	app := testLibrary(t, model.NLM).Apps()[0]
+	if code := httpJSON(t, "POST", ts.URL+"/v1/tasks", submitRequest{App: app}, nil); code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+	if n := s.latency.Snapshot().N; n != 1 {
+		t.Fatalf("aggregate histogram N = %d after one submit, want 1", n)
+	}
+	if rep := s.slo.Report(); rep.Requests != 1 {
+		t.Fatalf("SLO window requests = %d after one submit, want 1", rep.Requests)
+	}
+}
+
+// TestSLOEndpointAndDegradedHealthz saturates a tiny cluster so the
+// admission valve sheds a request: the 429 burns the error budget, /v1/slo
+// reports degraded, and healthz folds the verdict in.
+func TestSLOEndpointAndDegradedHealthz(t *testing.T) {
+	s := newTestServer(t, model.NLM, Config{Machines: 1, MaxQueue: 1, SLOErrorRate: 0.01})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	app := testLibrary(t, model.NLM).Apps()[0]
+
+	// 2 slots + queue bound 1: the fourth uncompleted submit is shed.
+	saw429 := false
+	for i := 0; i < 4; i++ {
+		code := httpJSON(t, "POST", ts.URL+"/v1/tasks", submitRequest{App: app}, nil)
+		if code == http.StatusTooManyRequests {
+			saw429 = true
+		}
+	}
+	if !saw429 {
+		t.Fatal("saturation never produced a 429")
+	}
+
+	var rep obs.SLOReport
+	if code := httpJSON(t, "GET", ts.URL+"/v1/slo", nil, &rep); code != http.StatusOK {
+		t.Fatalf("/v1/slo status %d", code)
+	}
+	if rep.Status != obs.SLOStatusDegraded || rep.Errors == 0 {
+		t.Fatalf("slo report not degraded after shed load: %+v", rep)
+	}
+	if rep.ErrorBudgetLeft >= 1 {
+		t.Fatalf("error budget untouched: %+v", rep)
+	}
+
+	var hz struct {
+		Status string `json:"status"`
+		SLO    struct {
+			Status string `json:"status"`
+		} `json:"slo"`
+	}
+	if code := httpJSON(t, "GET", ts.URL+"/healthz", nil, &hz); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if hz.Status != "degraded" || hz.SLO.Status != obs.SLOStatusDegraded {
+		t.Fatalf("healthz did not fold in the SLO verdict: %+v", hz)
+	}
+}
+
+// TestEvictRequeueSpan kills a busy machine and asserts the re-queue is
+// traced with the task's identity.
+func TestEvictRequeueSpan(t *testing.T) {
+	s := newTestServer(t, model.NLM, Config{Machines: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	app := testLibrary(t, model.NLM).Apps()[0]
+
+	var rec Placement
+	if code := httpJSON(t, "POST", ts.URL+"/v1/tasks", submitRequest{App: app}, &rec); code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+	var op machineOpResponse
+	if code := httpJSON(t, "POST", ts.URL+"/v1/machines/"+strconv.Itoa(rec.Machine)+"/kill", nil, &op); code != http.StatusOK {
+		t.Fatalf("kill: status %d", code)
+	}
+
+	found := false
+	for _, ev := range s.tracer.tr.Events() {
+		if ev.Kind == "evict_requeue" && ev.Serve != nil && ev.Serve.Task == rec.ID {
+			found = true
+			if ev.Serve.Machine != rec.Machine {
+				t.Fatalf("evict span machine = %d, want %d", ev.Serve.Machine, rec.Machine)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no evict_requeue span for the killed task")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tracon/internal/model"
 	"tracon/internal/sched"
@@ -62,6 +63,10 @@ type Placement struct {
 	// Retries counts how many times the task was re-queued after losing its
 	// machine (kill re-placement).
 	Retries int `json:"retries,omitempty"`
+	// ReqID is the X-Request-Id of the submission that created the task,
+	// joining the placement record (and its trace spans) back to the HTTP
+	// request, its access-log line, and the client's own records.
+	ReqID string `json:"request_id,omitempty"`
 
 	// bg is the neighbour's characteristic vector at placement time, kept
 	// for the retraining sample the completion observation turns into.
@@ -115,6 +120,8 @@ const SlotsPerMachine = 2
 type Placer struct {
 	models    *ModelSet
 	admission *Admission // nil disables the queue bound
+	// tracer records lifecycle spans (nil-safe; set by serve.New).
+	tracer *serveTracer
 
 	mu         sync.Mutex
 	machines   []machine
@@ -168,6 +175,12 @@ func NewPlacer(models *ModelSet, admission *Admission, machines, completedCap in
 // bound is checked atomically with the enqueue: at no instant can
 // concurrent submits push the backlog past the scaled bound.
 func (p *Placer) Submit(app string) (*Placement, error) {
+	return p.SubmitTagged(app, "")
+}
+
+// SubmitTagged is Submit carrying the originating request ID, which lands
+// on the placement record and every trace span the task emits.
+func (p *Placer) SubmitTagged(app, reqID string) (*Placement, error) {
 	view := p.models.View()
 	if err := p.checkKnown(view, app); err != nil {
 		return nil, err
@@ -175,10 +188,12 @@ func (p *Placer) Submit(app string) (*Placement, error) {
 	p.mu.Lock()
 	if budget := p.admitBudgetLocked(); budget == 0 {
 		p.mu.Unlock()
+		p.tracer.reject(reqID, app, "queue full")
 		return nil, ErrQueueFull
 	}
-	rec := p.enqueueLocked(app)
+	rec := p.enqueueLocked(app, reqID)
 	p.mu.Unlock()
+	p.tracer.admit(reqID, rec.ID, app)
 	if err := p.drain(); err != nil {
 		return nil, err
 	}
@@ -200,9 +215,21 @@ type BatchOutcome struct {
 // individually without failing the rest of the batch. The returned error
 // is global (a scheduling failure); per-task problems live in the slice.
 func (p *Placer) SubmitBatch(apps []string) ([]BatchOutcome, error) {
+	return p.SubmitBatchTagged(apps, nil)
+}
+
+// SubmitBatchTagged is SubmitBatch carrying per-task request IDs
+// (positional with apps; nil or short slices leave the remainder untagged).
+func (p *Placer) SubmitBatchTagged(apps, reqIDs []string) ([]BatchOutcome, error) {
 	view := p.models.View()
 	out := make([]BatchOutcome, len(apps))
 	var recs []*Placement
+	reqID := func(i int) string {
+		if i < len(reqIDs) {
+			return reqIDs[i]
+		}
+		return ""
+	}
 
 	p.mu.Lock()
 	budget := p.admitBudgetLocked()
@@ -218,11 +245,19 @@ func (p *Placer) SubmitBatch(apps []string) ([]BatchOutcome, error) {
 		if budget > 0 {
 			budget--
 		}
-		rec := p.enqueueLocked(app)
+		rec := p.enqueueLocked(app, reqID(i))
 		out[i].Placement = rec // live pointer; snapshotted after the drain
 		recs = append(recs, rec)
 	}
 	p.mu.Unlock()
+	for i, app := range apps {
+		switch {
+		case out[i].Placement != nil:
+			p.tracer.admit(reqID(i), out[i].Placement.ID, app)
+		case errors.Is(out[i].Err, ErrQueueFull):
+			p.tracer.reject(reqID(i), app, "queue full")
+		}
+	}
 
 	var drainErr error
 	if len(recs) > 0 {
@@ -253,7 +288,7 @@ func (p *Placer) checkKnown(view ModelView, app string) error {
 }
 
 // enqueueLocked mints a record and appends it to the backlog.
-func (p *Placer) enqueueLocked(app string) *Placement {
+func (p *Placer) enqueueLocked(app, reqID string) *Placement {
 	p.nextID++
 	rec := &Placement{
 		ID:      fmt.Sprintf("t-%d", p.nextID),
@@ -261,6 +296,7 @@ func (p *Placer) enqueueLocked(app string) *Placement {
 		Status:  StatusQueued,
 		Machine: -1,
 		Slot:    -1,
+		ReqID:   reqID,
 	}
 	p.placements[rec.ID] = rec
 	p.queue = append(p.queue, rec.ID)
@@ -328,6 +364,7 @@ func (p *Placer) Complete(id string) (*Placement, error) {
 	p.version++
 	out := rec.clone()
 	p.mu.Unlock()
+	p.tracer.complete(out)
 	if err := p.drain(); err != nil {
 		// The completion itself landed; the post-completion drain failed.
 		return out, err
@@ -474,13 +511,16 @@ func (p *Placer) Kill(id int) (requeued int, err error) {
 	}
 	m.state = MachineDown
 	var lost []string
+	lostSlots := map[string]int{}
 	for si := range m.slots {
 		if tid := m.slots[si].taskID; tid != "" {
 			lost = append(lost, tid)
+			lostSlots[tid] = si
 			m.slots[si] = slot{}
 			p.placedCount--
 		}
 	}
+	evicted := make([]*Placement, 0, len(lost))
 	for _, tid := range lost {
 		rec := p.placements[tid]
 		rec.Status = StatusQueued
@@ -491,10 +531,14 @@ func (p *Placer) Kill(id int) (requeued int, err error) {
 		rec.PredictedIOPS = 0
 		rec.bg = nil
 		rec.Retries++
+		evicted = append(evicted, rec.clone())
 	}
 	p.queue = append(lost, p.queue...)
 	p.version++
 	p.mu.Unlock()
+	for _, rec := range evicted {
+		p.tracer.evictRequeue(rec, id, lostSlots[rec.ID])
+	}
 	if err := p.drain(); err != nil {
 		return len(lost), err
 	}
@@ -666,6 +710,7 @@ const optimisticRetries = 3
 func (p *Placer) drain() error {
 	misses := 0
 	for {
+		t0 := time.Now()
 		p.mu.Lock()
 		plan, ok := p.planLocked()
 		if !ok {
@@ -674,13 +719,17 @@ func (p *Placer) drain() error {
 		}
 		if misses >= optimisticRetries {
 			// Contention fallback: plan, score and commit under one hold.
+			p.tracer.planOutcome("plan_fallback", len(plan.batch))
+			s0 := time.Now()
 			placements, err := plan.view.Scheduler.Schedule(plan.batch, plan.counts, plan.load)
+			p.tracer.score(len(plan.batch), len(placements), time.Since(s0))
 			if err != nil {
 				p.mu.Unlock()
 				return fmt.Errorf("serve: scheduling: %w", err)
 			}
 			done, err := p.commitLocked(plan, placements)
 			p.mu.Unlock()
+			p.tracer.batchPass(len(plan.batch), len(placements), time.Since(t0))
 			if err != nil || done {
 				return err
 			}
@@ -689,7 +738,9 @@ func (p *Placer) drain() error {
 		}
 		p.mu.Unlock()
 
+		s0 := time.Now()
 		placements, err := plan.view.Scheduler.Schedule(plan.batch, plan.counts, plan.load)
+		p.tracer.score(len(plan.batch), len(placements), time.Since(s0))
 		if err != nil {
 			return fmt.Errorf("serve: scheduling: %w", err)
 		}
@@ -697,11 +748,14 @@ func (p *Placer) drain() error {
 		p.mu.Lock()
 		if p.version != plan.version {
 			p.mu.Unlock()
+			p.tracer.planOutcome("plan_retry", len(plan.batch))
 			misses++
 			continue
 		}
 		done, err := p.commitLocked(plan, placements)
 		p.mu.Unlock()
+		p.tracer.planOutcome("plan_commit", len(plan.batch))
+		p.tracer.batchPass(len(plan.batch), len(placements), time.Since(t0))
 		if err != nil || done {
 			return err
 		}
@@ -739,6 +793,7 @@ func (p *Placer) executeLocked(rec *Placement, category string, view ModelView) 
 	}
 	p.machines[mi].slots[si] = slot{taskID: rec.ID, app: rec.App}
 	p.placedCount++
+	p.tracer.place(rec)
 	return nil
 }
 

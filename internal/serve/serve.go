@@ -31,10 +31,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"path"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"tracon/internal/model"
@@ -81,6 +84,17 @@ type Config struct {
 	SyncRetrain bool
 	// CompletedCap bounds retained finished placement records.
 	CompletedCap int
+	// Logger receives the daemon's structured logs; nil discards them.
+	Logger *slog.Logger
+	// TraceCap bounds the serving-span ring exported on GET /v1/trace
+	// (obs.DefaultTraceCap if 0; negative disables tracing entirely).
+	TraceCap int
+	// SLOWindow, SLOLatencyP99 and SLOErrorRate tune the rolling
+	// objectives behind GET /v1/slo; zero values take the obs defaults,
+	// negative objectives disable that check.
+	SLOWindow     time.Duration
+	SLOLatencyP99 float64
+	SLOErrorRate  float64
 }
 
 // Server is the tracond daemon core, constructed over a trained library.
@@ -100,6 +114,13 @@ type Server struct {
 	batchSize *obs.Histogram
 	batchLat  *obs.Histogram
 	start     time.Time
+
+	logger    *slog.Logger
+	tracer    *serveTracer // nil when tracing is disabled
+	slo       *obs.SLOTracker
+	sloStatus atomic.Value // string; last evaluated SLO status
+	reqPrefix string
+	reqSeq    atomic.Uint64
 }
 
 // New builds a Server serving placements from lib.
@@ -131,6 +152,19 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 	if batchMax <= 0 {
 		batchMax = DefaultBatchMax
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = discardLogger()
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = "mios"
+	}
+	var tracer *serveTracer
+	if cfg.TraceCap >= 0 {
+		tracer = newServeTracer(policy, cfg.Machines, cfg.TraceCap)
+	}
+	placer.tracer = tracer
 	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:       cfg,
@@ -146,7 +180,16 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 		batchSize: reg.Histogram("serve.batch_size", obs.BatchSizeBuckets()),
 		batchLat:  reg.Histogram("serve.batch_decision_seconds", obs.DefaultLatencyBuckets()),
 		start:     time.Now(),
+		logger:    logger,
+		tracer:    tracer,
+		slo: obs.NewSLOTracker(obs.SLOConfig{
+			Window:     cfg.SLOWindow,
+			LatencyP99: cfg.SLOLatencyP99,
+			ErrorRate:  cfg.SLOErrorRate,
+		}),
+		reqPrefix: newReqPrefix(),
 	}
+	s.sloStatus.Store(obs.SLOStatusNoData)
 	if cfg.CoalesceWindow > 0 {
 		s.coalescer = NewCoalescer(placer, cfg.CoalesceWindow, batchMax, reg)
 	}
@@ -172,38 +215,36 @@ func (s *Server) CheckInvariants() error { return s.placer.CheckInvariants() }
 // the HTTP listener has shut down.
 func (s *Server) Drain() { s.swapper.Wait() }
 
-// Handler builds the daemon's HTTP surface.
+// Handler builds the daemon's HTTP surface. Every route runs inside
+// instrument (request IDs, per-route metrics, access log, SLO feed); the
+// route label is the path pattern, so per-route series stay low-cardinality
+// no matter how many placement IDs pass through.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/tasks", s.timed(s.handleSubmit))
-	mux.HandleFunc("POST /v1/tasks:batch", s.timed(s.handleSubmitBatch))
-	mux.HandleFunc("GET /v1/placements/{id}", s.timed(s.handleGetPlacement))
-	mux.HandleFunc("POST /v1/placements/{id}/complete", s.timed(s.handleComplete))
-	mux.HandleFunc("GET /v1/machines", s.timed(s.handleMachines))
-	mux.HandleFunc("POST /v1/machines/{id}/drain", s.timed(s.handleMachineOp))
-	mux.HandleFunc("POST /v1/machines/{id}/undrain", s.timed(s.handleMachineOp))
-	mux.HandleFunc("POST /v1/machines/{id}/kill", s.timed(s.handleMachineOp))
-	mux.HandleFunc("POST /v1/machines/{id}/revive", s.timed(s.handleMachineOp))
-	mux.HandleFunc("GET /v1/models", s.timed(s.handleModels))
-	mux.HandleFunc("POST /v1/models/swap", s.timed(s.handleSwap))
-	mux.HandleFunc("GET /healthz", s.timed(s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.timed(s.handleMetrics))
+	handle := func(method, route string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+route, s.instrument(route, h))
+	}
+	handle("POST", "/v1/tasks", s.handleSubmit)
+	handle("POST", "/v1/tasks:batch", s.handleSubmitBatch)
+	handle("GET", "/v1/placements/{id}", s.handleGetPlacement)
+	handle("POST", "/v1/placements/{id}/complete", s.handleComplete)
+	handle("GET", "/v1/machines", s.handleMachines)
+	handle("POST", "/v1/machines/{id}/drain", s.handleMachineOp)
+	handle("POST", "/v1/machines/{id}/undrain", s.handleMachineOp)
+	handle("POST", "/v1/machines/{id}/kill", s.handleMachineOp)
+	handle("POST", "/v1/machines/{id}/revive", s.handleMachineOp)
+	handle("GET", "/v1/models", s.handleModels)
+	handle("POST", "/v1/models/swap", s.handleSwap)
+	handle("GET", "/v1/trace", s.handleTrace)
+	handle("GET", "/v1/slo", s.handleSLO)
+	handle("GET", "/healthz", s.handleHealthz)
+	handle("GET", "/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
-}
-
-// timed wraps a handler with request-latency recording.
-func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		h(w, r)
-		s.latency.Observe(time.Since(t0).Seconds())
-		s.reg.Counter("serve.http_requests").Inc()
-	}
 }
 
 // submitRequest is the POST /v1/tasks body.
@@ -229,7 +270,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"app\""})
 		return
 	}
+	reqID := RequestIDFrom(r.Context())
 	if !s.admission.TryAcquire() {
+		s.tracer.reject(reqID, req.App, "too many in-flight submissions")
 		s.reject(w, 1, 1, "too many in-flight submissions")
 		return
 	}
@@ -240,9 +283,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	if s.coalescer != nil {
-		rec, err = s.coalescer.Submit(req.App)
+		rec, err = s.coalescer.SubmitTagged(req.App, reqID)
 	} else {
-		rec, err = s.placer.Submit(req.App)
+		rec, err = s.placer.SubmitTagged(req.App, reqID)
 	}
 	s.decision.Observe(time.Since(t0).Seconds())
 	if errors.Is(err, ErrQueueFull) {
@@ -328,14 +371,24 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		apps[i] = task.App
 	}
 	// One batch claims one in-flight token: it is one scheduling decision.
+	reqID := RequestIDFrom(r.Context())
 	if !s.admission.TryAcquire() {
+		for _, app := range apps {
+			s.tracer.reject(reqID, app, "too many in-flight submissions")
+		}
 		s.reject(w, 1, len(apps), "too many in-flight submissions")
 		return
 	}
 	defer s.admission.Release()
 
+	// Every task in one HTTP batch shares the request's ID: spans and
+	// records for the whole group join back to one submission.
+	reqIDs := make([]string, len(apps))
+	for i := range reqIDs {
+		reqIDs[i] = reqID
+	}
 	t0 := time.Now()
-	outcomes, err := s.placer.SubmitBatch(apps)
+	outcomes, err := s.placer.SubmitBatchTagged(apps, reqIDs)
 	elapsed := time.Since(t0).Seconds()
 	s.decision.Observe(elapsed)
 	s.batchLat.Observe(elapsed)
@@ -464,6 +517,12 @@ func (s *Server) handleMachineOp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Counter("serve.machine_" + op).Inc()
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "machine lifecycle op",
+		slog.String("req_id", RequestIDFrom(r.Context())),
+		slog.String("op", op),
+		slog.Int("machine", id),
+		slog.Int("requeued", resp.Requeued),
+	)
 	s.observeGauges()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -494,19 +553,31 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSwap(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	if err := s.swapper.TriggerSwap(); err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
 		return
 	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "model swap",
+		slog.String("req_id", RequestIDFrom(r.Context())),
+		slog.Uint64("generation", s.models.Generation()),
+	)
 	writeJSON(w, http.StatusOK, map[string]uint64{"generation": s.models.Generation()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	view := s.models.View()
 	snap := s.placer.Snapshot()
+	// Liveness folds in the SLO verdict: the process answers 200 either
+	// way (it is alive), but the body says "degraded" while the rolling
+	// window is burning latency or error budget.
+	rep := s.sloReport()
+	status := "ok"
+	if rep.Status == obs.SLOStatusDegraded {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
+		"status":      status,
 		"kind":        view.Lib.Kind.String(),
 		"generation":  view.Gen,
 		"apps":        view.Lib.Apps(),
@@ -516,12 +587,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"queue_depth": snap.QueueDepth,
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"latency":     s.latency.Latency(),
+		"slo": map[string]any{
+			"status":            rep.Status,
+			"p99_s":             rep.Latency.P99,
+			"error_rate":        rep.ErrorRate,
+			"error_budget_left": rep.ErrorBudgetLeft,
+		},
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics content-negotiates the registry snapshot: the JSON form
+// is the default (and what the repo's own tooling reads); Prometheus text
+// exposition is selected by ?format=prometheus or an Accept header asking
+// for text/plain, so a stock Prometheus scraper works with zero flags.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.observeGauges()
-	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		format = "prometheus"
+	}
+	switch format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	case "prometheus":
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = obs.WritePrometheus(w, s.reg.Snapshot())
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("unknown metrics format %q (want json or prometheus)", format)})
+	}
 }
 
 // observeGauges refreshes the point-in-time metrics from their owners.

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end observability smoke test: boot tracond with
+# JSON logs, drive a traconload burst with client-side scraping, then
+# assert the whole telemetry surface: Prometheus exposition parses, the
+# serve trace converts to Perfetto, spans join admission to completion,
+# request IDs echo, and /v1/slo has the expected shape.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+daemon_pid=""
+
+cleanup() {
+    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -KILL "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "obs-smoke: $1" >&2
+    shift
+    for f in "$@"; do cat "$f" >&2; done
+    exit 1
+}
+
+go build -o "$workdir/tracond" ./cmd/tracond
+go build -o "$workdir/traconload" ./cmd/traconload
+go build -o "$workdir/tracontrace" ./cmd/tracontrace
+
+"$workdir/tracond" \
+    -addr 127.0.0.1:0 \
+    -portfile "$workdir/port" \
+    -machines 4 \
+    -model NLM \
+    -policy mios \
+    -seed 1 \
+    -log-format json \
+    -stats-interval 1s \
+    >"$workdir/tracond.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 300); do
+    [[ -s "$workdir/port" ]] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        fail "tracond died during startup" "$workdir/tracond.log"
+    fi
+    sleep 0.1
+done
+[[ -s "$workdir/port" ]] || fail "no port file after 30s" "$workdir/tracond.log"
+addr="$(tr -d '\n' <"$workdir/port")"
+
+# Structured logging: every log line the daemon has emitted so far must be
+# a JSON object (slog JSON handler).
+if grep -qv '^{' "$workdir/tracond.log"; then
+    fail "-log-format json emitted a non-JSON log line" "$workdir/tracond.log"
+fi
+
+# Request-ID round trip: a client-supplied X-Request-Id must be echoed.
+echoed="$(curl -sf -D - -o /dev/null -H 'X-Request-Id: smoke-ping-1' \
+    "http://$addr/v1/machines" | tr -d '\r' | sed -n 's/^X-Request-Id: //Ip')"
+[[ "$echoed" == "smoke-ping-1" ]] || fail "X-Request-Id not echoed (got '$echoed')"
+
+# Closed-loop burst with client-side scraping of the daemon's Prometheus
+# endpoint. Default admission bounds never shed a 200-task burst, so the
+# span ledger below is exact.
+"$workdir/traconload" \
+    -addr "$addr" \
+    -tasks 200 \
+    -concurrency 8 \
+    -seed 1 \
+    -scrape \
+    -json >"$workdir/load.json"
+
+jint() { sed -n "s/^ *\"$1\": \([0-9]*\),*/\1/p" "$2" | head -1; }
+
+completed="$(jint completed "$workdir/load.json")"
+[[ "$completed" == 200 ]] || fail "completed=$completed, want 200" "$workdir/load.json"
+grep -q '"server"' "$workdir/load.json" \
+    || fail "traconload -scrape produced no server-side summary" "$workdir/load.json"
+
+# Prometheus exposition: parseable shape with cumulative buckets.
+curl -sf "http://$addr/metrics?format=prometheus" >"$workdir/metrics.prom"
+grep -q '^# TYPE serve_http_request_seconds histogram$' "$workdir/metrics.prom" \
+    || fail "missing histogram TYPE line" "$workdir/metrics.prom"
+grep -q 'serve_http_request_seconds_bucket{.*le="+Inf"}' "$workdir/metrics.prom" \
+    || fail "missing +Inf bucket" "$workdir/metrics.prom"
+grep -q '^serve_tasks_completed 200$' "$workdir/metrics.prom" \
+    || fail "serve_tasks_completed != 200 in exposition" "$workdir/metrics.prom"
+grep -q '^runtime_goroutines ' "$workdir/metrics.prom" \
+    || fail "runtime self-stats missing from exposition" "$workdir/metrics.prom"
+
+# The JSON snapshot rides the same endpoint by default.
+curl -sf "http://$addr/metrics" | grep -q '"serve.tasks_completed"' \
+    || fail "JSON metrics snapshot missing counters"
+
+# Serve trace: NDJSON exports, spans balance (200 admits, 200 places,
+# 200 completes), and the export converts to Perfetto without error.
+curl -sf "http://$addr/v1/trace" >"$workdir/trace.ndjson"
+for kind in admit place complete; do
+    n="$(grep -c "\"k\":\"$kind\"" "$workdir/trace.ndjson" || true)"
+    [[ "$n" == 200 ]] || fail "span kind=$kind count=$n, want 200"
+done
+"$workdir/tracontrace" -in "$workdir/trace.ndjson" -perfetto "$workdir/trace.perfetto.json" \
+    >"$workdir/trace.summary" 2>&1 \
+    || fail "tracontrace -perfetto failed" "$workdir/trace.summary"
+[[ -s "$workdir/trace.perfetto.json" ]] || fail "empty Perfetto export"
+
+# SLO endpoint shape: an all-success burst must report status ok with a
+# full error budget.
+curl -sf "http://$addr/v1/slo" >"$workdir/slo.json"
+grep -q '"status": *"ok"' "$workdir/slo.json" \
+    || fail "/v1/slo status not ok after clean burst" "$workdir/slo.json"
+grep -q '"error_budget_left": *1' "$workdir/slo.json" \
+    || fail "/v1/slo error budget burned by clean burst" "$workdir/slo.json"
+grep -q '"latency_s"' "$workdir/slo.json" \
+    || fail "/v1/slo missing latency summary" "$workdir/slo.json"
+
+# Healthz folds the SLO verdict in.
+curl -sf "http://$addr/healthz" | grep -q '"slo"' \
+    || fail "healthz missing slo block"
+
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    fail "tracond did not drain cleanly" "$workdir/tracond.log"
+fi
+daemon_pid=""
+
+echo "obs-smoke: OK (200 spans joined, exposition + perfetto + slo verified)"
