@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race audit trace serve-smoke obs-smoke chaos fuzz-smoke bench bench-json bench-serve clean
+.PHONY: ci vet build test race audit trace serve-smoke obs-smoke chaos crash-smoke fuzz-smoke bench bench-json bench-serve clean
 
-ci: vet build test race audit trace serve-smoke obs-smoke chaos fuzz-smoke
+ci: vet build test race audit trace serve-smoke obs-smoke chaos crash-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,11 +57,19 @@ chaos:
 	$(GO) test ./internal/experiments -run 'TestChaosExperiments|TestEmptyFaultFactory' -short -count=1
 	bash scripts/chaos_smoke.sh
 
-# Ten seconds of coverage-guided fuzzing against the placer's machine
-# lifecycle (submit/complete/kill/revive/drain/undrain interleavings);
-# the checked-in corpus under internal/serve/testdata seeds it.
+# Crash gate: tracond journaling under -fsync always takes a SIGKILL
+# mid-burst, restarts on the same data dir, and every admitted task must
+# reach a terminal state exactly once (no losses, no duplicate IDs).
+crash-smoke:
+	bash scripts/crash_smoke.sh
+
+# Ten seconds each of coverage-guided fuzzing against the placer's machine
+# lifecycle (submit/complete/kill/revive/drain/undrain interleavings) and
+# the WAL reader's torn/corrupt-frame discrimination; the checked-in
+# corpora under internal/{serve,durable}/testdata seed them.
 fuzz-smoke:
 	$(GO) test ./internal/serve -fuzz=FuzzPlacerBacklog -fuzztime=10s -run '^$$'
+	$(GO) test ./internal/durable -fuzz=FuzzWALReader -fuzztime=10s -run '^$$'
 
 # Regenerate the paper exhibits through the benchmark harness.
 bench:
@@ -74,11 +82,13 @@ bench-json:
 		-benchmem -benchtime 1x -count=1 . > BENCH_pr3.json
 
 # Serving-path benchmark snapshot: prediction-cache hit vs uncached
-# scoring, plus fixed-seed singleton and batched traconload runs;
-# BENCH_pr7.json is this target's output at the PR-7 baseline
-# (BENCH_pr4.json is the pre-batching singleton snapshot).
+# scoring, fixed-seed singleton and batched traconload runs, and the WAL
+# fsync-policy sweep (always/interval/never) against a journaling daemon;
+# BENCH_pr9.json is this target's output at the PR-9 baseline
+# (BENCH_pr7.json is the pre-durability snapshot, BENCH_pr4.json the
+# pre-batching singleton one).
 bench-serve:
-	bash scripts/bench_serve.sh BENCH_pr7.json
+	bash scripts/bench_serve.sh BENCH_pr9.json
 
 clean:
 	$(GO) clean ./...

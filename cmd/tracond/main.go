@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"tracon/internal/durable"
 	"tracon/internal/model"
 	"tracon/internal/obs"
 	"tracon/internal/sched"
@@ -55,6 +56,11 @@ func main() {
 		sloP99      = flag.Float64("slo-p99", 0, "latency objective: rolling p99 seconds (0 = default 0.25, negative = off)")
 		sloErrRate  = flag.Float64("slo-error-rate", 0, "error budget: rolling error fraction (0 = default 0.01, negative = off)")
 		statsEvery  = flag.Duration("stats-interval", 0, "runtime self-stats sampling period (0 = default 5s, negative = off)")
+		dataDir     = flag.String("data-dir", "", "crash-safe persistence directory (WAL + snapshots); empty = in-memory only")
+		fsync       = flag.String("fsync", "always", "WAL durability policy: always, interval, never")
+		fsyncEvery  = flag.Duration("fsync-interval", 0, "max time between WAL fsyncs under -fsync=interval (0 = default 50ms)")
+		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "compacted snapshot period (also triggered by -wal-max-bytes; <=0 = size-only)")
+		walMaxBytes = flag.Int64("wal-max-bytes", 0, "WAL segment size that triggers an early snapshot (0 = default 64MiB, negative = off)")
 	)
 	flag.Parse()
 
@@ -72,6 +78,8 @@ func main() {
 		syncRetrain: *syncRetrain, cpuProf: *cpuProf, memProf: *memProf,
 		logger: logger, traceCap: *traceCap, sloWindow: *sloWindow,
 		sloP99: *sloP99, sloErrRate: *sloErrRate, statsEvery: *statsEvery,
+		dataDir: *dataDir, fsync: *fsync, fsyncEvery: *fsyncEvery,
+		snapEvery: *snapEvery, walMaxBytes: *walMaxBytes,
 	}); err != nil {
 		logger.Error("fatal", "err", err.Error())
 		os.Exit(1)
@@ -114,6 +122,9 @@ type daemonConfig struct {
 	sloWindow             time.Duration
 	sloP99, sloErrRate    float64
 	statsEvery            time.Duration
+	dataDir, fsync        string
+	fsyncEvery, snapEvery time.Duration
+	walMaxBytes           int64
 }
 
 func run(cfg daemonConfig) error {
@@ -189,6 +200,32 @@ func run(cfg daemonConfig) error {
 		cfg.logger.Info("saved model library", "path", cfg.modelsOut)
 	}
 
+	// Bring up the durability layer before the server: serve.New recovers
+	// the placer from the journal (snapshot + WAL replay) during
+	// construction, so by the time the listener opens the backlog and
+	// inventory are exactly what the previous process acknowledged.
+	var mgr *durable.Manager
+	if cfg.dataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		mgr, err = durable.Open(cfg.dataDir, durable.Options{
+			Fsync:         policy,
+			FsyncInterval: cfg.fsyncEvery,
+			WALMaxBytes:   cfg.walMaxBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", cfg.dataDir, err)
+		}
+		defer mgr.Close()
+		rec := mgr.Recovery()
+		cfg.logger.Info("journal opened",
+			"dir", cfg.dataDir, "fsync", policy.String(),
+			"replay_events", len(rec.Events), "snapshot", rec.Snapshot != nil,
+			"torn_tail", rec.TornTail, "segments", rec.Segments)
+	}
+
 	srv, err := serve.New(lib, serve.Config{
 		Machines:       cfg.machines,
 		Policy:         cfg.policy,
@@ -205,9 +242,36 @@ func run(cfg daemonConfig) error {
 		SLOWindow:      cfg.sloWindow,
 		SLOLatencyP99:  cfg.sloP99,
 		SLOErrorRate:   cfg.sloErrRate,
+		Journal:        mgr,
 	})
 	if err != nil {
 		return err
+	}
+
+	// Snapshot loop: compact on the age ticker and whenever the live WAL
+	// segment outgrows -wal-max-bytes.
+	snapDone := make(chan struct{})
+	defer close(snapDone)
+	if mgr != nil {
+		go func() {
+			var tick <-chan time.Time
+			if cfg.snapEvery > 0 {
+				t := time.NewTicker(cfg.snapEvery)
+				defer t.Stop()
+				tick = t.C
+			}
+			for {
+				select {
+				case <-snapDone:
+					return
+				case <-tick:
+				case <-mgr.SnapshotSignal():
+				}
+				if err := srv.SnapshotNow(); err != nil {
+					cfg.logger.Error("snapshot failed", "err", err.Error())
+				}
+			}
+		}()
 	}
 	if cfg.statsEvery >= 0 {
 		sampler := obs.StartRuntimeStats(srv.Registry(), cfg.statsEvery)
@@ -250,6 +314,13 @@ func run(cfg daemonConfig) error {
 		return err
 	}
 	srv.Drain()
+	if mgr != nil {
+		// Final compaction: a clean shutdown leaves a snapshot covering
+		// everything, so the next boot replays nothing.
+		if err := srv.SnapshotNow(); err != nil {
+			cfg.logger.Error("final snapshot failed", "err", err.Error())
+		}
+	}
 	cfg.logger.Info("drained cleanly",
 		"swaps", srv.ModelSet().Swaps(), "drift_fires", srv.Swapper().DriftFires())
 

@@ -48,22 +48,24 @@ import (
 
 func main() {
 	var (
-		target      = flag.String("addr", "127.0.0.1:8080", "tracond address (host:port)")
-		tasks       = flag.Int("tasks", 200, "total tasks to submit")
-		concurrency = flag.Int("concurrency", 8, "closed-loop workers (ignored with -rate)")
-		batch       = flag.Int("batch", 0, "submit tasks in groups of this size via /v1/tasks:batch (closed loop only; 0 = singleton)")
-		rate        = flag.Float64("rate", 0, "open-loop Poisson arrival rate in tasks/minute (0 = closed loop)")
-		seed        = flag.Int64("seed", 1, "randomness seed (app choice, noise, arrivals)")
-		apps        = flag.String("apps", "", "comma-separated application mix (default: every app the daemon serves)")
-		noise       = flag.Float64("noise", 0.05, "multiplicative noise sigma on observed runtimes")
-		drift       = flag.Float64("drift", 0, "inflate observed runtimes by this factor after half the run (0 = off)")
-		pollEvery   = flag.Duration("poll", 2*time.Millisecond, "queued-placement poll interval")
-		timeout     = flag.Duration("timeout", 2*time.Minute, "overall run timeout")
-		jsonOut     = flag.Bool("json", false, "emit the summary as JSON")
-		chaos       = flag.Bool("chaos", false, "kill and revive random machines during the run; tasks must survive via the daemon's re-queue")
-		chaosEvery  = flag.Duration("chaos-interval", 200*time.Millisecond, "interval between -chaos kill/revive actions")
-		scrape      = flag.Bool("scrape", false, "sample the daemon's Prometheus endpoint during the run and report the server-side submit latency next to the client's")
-		scrapeEvery = flag.Duration("scrape-interval", 250*time.Millisecond, "-scrape sampling period")
+		target       = flag.String("addr", "127.0.0.1:8080", "tracond address (host:port)")
+		tasks        = flag.Int("tasks", 200, "total tasks to submit")
+		concurrency  = flag.Int("concurrency", 8, "closed-loop workers (ignored with -rate)")
+		batch        = flag.Int("batch", 0, "submit tasks in groups of this size via /v1/tasks:batch (closed loop only; 0 = singleton)")
+		rate         = flag.Float64("rate", 0, "open-loop Poisson arrival rate in tasks/minute (0 = closed loop)")
+		seed         = flag.Int64("seed", 1, "randomness seed (app choice, noise, arrivals)")
+		apps         = flag.String("apps", "", "comma-separated application mix (default: every app the daemon serves)")
+		noise        = flag.Float64("noise", 0.05, "multiplicative noise sigma on observed runtimes")
+		drift        = flag.Float64("drift", 0, "inflate observed runtimes by this factor after half the run (0 = off)")
+		pollEvery    = flag.Duration("poll", 2*time.Millisecond, "queued-placement poll interval")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "overall run timeout")
+		jsonOut      = flag.Bool("json", false, "emit the summary as JSON")
+		chaos        = flag.Bool("chaos", false, "kill and revive random machines during the run; tasks must survive via the daemon's re-queue")
+		chaosEvery   = flag.Duration("chaos-interval", 200*time.Millisecond, "interval between -chaos kill/revive actions")
+		scrape       = flag.Bool("scrape", false, "sample the daemon's Prometheus endpoint during the run and report the server-side submit latency next to the client's")
+		scrapeEvery  = flag.Duration("scrape-interval", 250*time.Millisecond, "-scrape sampling period")
+		reconnect    = flag.Bool("reconnect", false, "ride out a daemon restart: retry refused/5xx requests with backoff, resubmitting under stable idempotency keys")
+		reconnectFor = flag.Duration("reconnect-window", 15*time.Second, "max time one request keeps retrying under -reconnect")
 	)
 	flag.Parse()
 
@@ -74,6 +76,7 @@ func main() {
 		pollEvery: *pollEvery, timeout: *timeout,
 		chaos: *chaos, chaosEvery: *chaosEvery,
 		scrape: *scrape, scrapeEvery: *scrapeEvery,
+		reconnect: *reconnect, reconnectFor: *reconnectFor,
 	})
 	if err != nil {
 		log.Fatalf("traconload: %v", err)
@@ -91,21 +94,23 @@ func main() {
 }
 
 type loadConfig struct {
-	base        string
-	tasks       int
-	concurrency int
-	batch       int
-	rate        float64
-	seed        int64
-	apps        string
-	noise       float64
-	drift       float64
-	pollEvery   time.Duration
-	timeout     time.Duration
-	chaos       bool
-	chaosEvery  time.Duration
-	scrape      bool
-	scrapeEvery time.Duration
+	base         string
+	tasks        int
+	concurrency  int
+	batch        int
+	rate         float64
+	seed         int64
+	apps         string
+	noise        float64
+	drift        float64
+	pollEvery    time.Duration
+	timeout      time.Duration
+	chaos        bool
+	chaosEvery   time.Duration
+	scrape       bool
+	scrapeEvery  time.Duration
+	reconnect    bool
+	reconnectFor time.Duration
 }
 
 // summary is the run report (the -json shape).
@@ -130,6 +135,13 @@ type summary struct {
 	ChaosKills   int64 `json:"chaos_kills,omitempty"`
 	ChaosRevives int64 `json:"chaos_revives,omitempty"`
 	Retried      int64 `json:"retried,omitempty"`
+	// Reconnects counts request attempts retried under -reconnect;
+	// DuplicateIDs counts idempotency violations the client observed (one
+	// logical task answered with two placement IDs, or one placement ID
+	// handed to two logical tasks). Zero after a daemon crash-restart is
+	// the exactly-once property crash_smoke asserts.
+	Reconnects   int64 `json:"reconnects,omitempty"`
+	DuplicateIDs int64 `json:"duplicate_ids"`
 	// Server is the daemon's own view of the run, sampled from its
 	// Prometheus endpoint (-scrape): the submit route's server-side latency
 	// over exactly the scraped window, for side-by-side comparison with
@@ -173,6 +185,10 @@ func (s summary) text() string {
 		fmt.Fprintf(&b, "chaos       %d kills, %d revives, %d tasks survived re-placement\n",
 			s.ChaosKills, s.ChaosRevives, s.Retried)
 	}
+	if s.Reconnects > 0 || s.DuplicateIDs > 0 {
+		fmt.Fprintf(&b, "reconnect   %d retried attempts, %d duplicate ids\n",
+			s.Reconnects, s.DuplicateIDs)
+	}
 	return b.String()
 }
 
@@ -189,7 +205,79 @@ type loader struct {
 	issued                                         atomic.Int64 // tasks handed to workers, for the drift midpoint
 	batches                                        atomic.Int64
 	kills, revives, retried                        atomic.Int64
+	reconnects, duplicates                         atomic.Int64
 	deadline                                       time.Time
+
+	// Idempotency bookkeeping for -reconnect: keyPrefix+keySeq mint one
+	// stable key per logical task; keyIDs (key → placement ID) and ids
+	// (placement ID → key) cross-check that a key never yields two IDs and
+	// an ID never serves two keys across retries and daemon restarts.
+	keyPrefix string
+	keySeq    atomic.Int64
+	keyIDs    sync.Map
+	ids       sync.Map
+}
+
+// nextKey mints a stable client-side idempotency key, or "" when
+// -reconnect is off (the daemon then mints per-request IDs that never
+// dedup). The prefix ties keys to this process so two loaders hammering
+// one daemon cannot collide.
+func (l *loader) nextKey() string {
+	if !l.cfg.reconnect {
+		return ""
+	}
+	return fmt.Sprintf("%s-%d", l.keyPrefix, l.keySeq.Add(1))
+}
+
+// noteID cross-checks the placement ID the daemon answered for a key.
+// Either direction of disagreement — one key answered with two IDs, or
+// one ID handed to two keys — is an exactly-once violation.
+func (l *loader) noteID(key, id string) {
+	if key == "" || id == "" {
+		return
+	}
+	if prev, loaded := l.keyIDs.LoadOrStore(key, id); loaded && prev.(string) != id {
+		l.duplicates.Add(1)
+	}
+	if prev, loaded := l.ids.LoadOrStore(id, key); loaded && prev.(string) != key {
+		l.duplicates.Add(1)
+	}
+}
+
+// post issues one POST, retrying refused connections and 5xx answers with
+// exponential backoff while -reconnect is on and the window allows. The
+// idempotency key rides the X-Request-Id header on every attempt, so a
+// retry that crosses a daemon crash-restart dedups server-side instead of
+// double-admitting the task.
+func (l *loader) post(path, key string, body []byte) (*http.Response, error) {
+	backoff := 50 * time.Millisecond
+	giveUp := time.Now().Add(l.cfg.reconnectFor)
+	for {
+		req, err := http.NewRequest(http.MethodPost, l.cfg.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set(serve.RequestIDHeader, key)
+		}
+		resp, err := l.client.Do(req)
+		if err == nil && resp.StatusCode < 500 {
+			return resp, nil
+		}
+		if !l.cfg.reconnect || time.Now().After(giveUp) || time.Now().After(l.deadline) {
+			return resp, err
+		}
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		l.reconnects.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
 }
 
 func run(cfg loadConfig) (summary, error) {
@@ -205,6 +293,7 @@ func run(cfg loadConfig) (summary, error) {
 		submitLat: obs.NewHistogram(obs.DefaultLatencyBuckets()),
 		e2eLat:    obs.NewHistogram(obs.DefaultLatencyBuckets()),
 		deadline:  time.Now().Add(cfg.timeout),
+		keyPrefix: fmt.Sprintf("ld-%d-%d", os.Getpid(), cfg.seed),
 	}
 	if err := l.resolveApps(); err != nil {
 		return summary{}, err
@@ -263,6 +352,11 @@ func run(cfg loadConfig) (summary, error) {
 		sum.ChaosRevives = l.revives.Load()
 		sum.Retried = l.retried.Load()
 	}
+	if cfg.reconnect {
+		sum.Mode += " +reconnect"
+		sum.Reconnects = l.reconnects.Load()
+	}
+	sum.DuplicateIDs = l.duplicates.Load()
 	if scr != nil {
 		sum.Server = scr.finish()
 	}
@@ -569,8 +663,12 @@ func (l *loader) runBatch(rng *rand.Rand, size int) {
 		req.Tasks[i].App = l.apps[rng.Intn(len(l.apps))]
 	}
 	body, _ := json.Marshal(req)
+	// One key covers the whole group; the daemon derives per-task dedup
+	// keys as "<key>#<index>", so a resubmitted group maps back onto the
+	// same admitted tasks position by position.
+	batchKey := l.nextKey()
 	t0 := time.Now()
-	resp, err := l.client.Post(l.cfg.base+"/v1/tasks:batch", "application/json", bytes.NewReader(body))
+	resp, err := l.post("/v1/tasks:batch", batchKey, body)
 	l.submitLat.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		l.failed.Add(int64(size))
@@ -595,13 +693,16 @@ func (l *loader) runBatch(rng *rand.Rand, size int) {
 	}
 	l.batches.Add(1)
 	var wg sync.WaitGroup
-	for _, r := range br.Results {
+	for i, r := range br.Results {
 		switch {
 		case r.Rejected:
 			l.rejected.Add(1)
 		case r.Placement == nil:
 			l.failed.Add(1)
 		default:
+			if batchKey != "" {
+				l.noteID(fmt.Sprintf("%s#%d", batchKey, i), r.Placement.ID)
+			}
 			l.submitted.Add(1)
 			wg.Add(1)
 			go func(seed int64, rec *serve.Placement) {
@@ -617,8 +718,9 @@ func (l *loader) runBatch(rng *rand.Rand, size int) {
 // with a synthetic observation.
 func (l *loader) runTask(rng *rand.Rand) {
 	app := l.apps[rng.Intn(len(l.apps))]
+	key := l.nextKey()
 	t0 := time.Now()
-	rec, status, err := l.submit(app)
+	rec, status, err := l.submit(app, key)
 	l.submitLat.Observe(time.Since(t0).Seconds())
 	switch {
 	case err != nil:
@@ -631,6 +733,7 @@ func (l *loader) runTask(rng *rand.Rand) {
 		l.failed.Add(1)
 		return
 	}
+	l.noteID(key, rec.ID)
 	l.submitted.Add(1)
 	l.finishTask(rng, rec, t0)
 }
@@ -665,10 +768,16 @@ func (l *loader) finishTask(rng *rand.Rand, rec *serve.Placement, t0 time.Time) 
 		if err == nil && code == http.StatusOK {
 			break
 		}
-		// 409 under chaos: the task's machine was killed between placement
-		// and completion and the daemon re-queued it. Wait for the
-		// re-placement (new machine, fresh forecast) and complete it there.
-		if err == nil && code == http.StatusConflict && l.cfg.chaos && time.Now().Before(l.deadline) {
+		// 409 under chaos or reconnect: either the task's machine was killed
+		// between placement and completion and the daemon re-queued it, or a
+		// completion retry crossed a restart after its first attempt landed.
+		if err == nil && code == http.StatusConflict && (l.cfg.chaos || l.cfg.reconnect) && time.Now().Before(l.deadline) {
+			// A record already terminal means the earlier attempt committed
+			// and only its response was lost: the work happened exactly once,
+			// so count it completed rather than failed.
+			if cur, cerr := l.getPlacement(rec.ID); cerr == nil && cur.Status == serve.StatusCompleted {
+				break
+			}
 			if rec = l.awaitPlacement(rec.ID); rec != nil {
 				l.retried.Add(1)
 				continue
@@ -681,9 +790,9 @@ func (l *loader) finishTask(rng *rand.Rand, rec *serve.Placement, t0 time.Time) 
 	l.e2eLat.Observe(time.Since(t0).Seconds())
 }
 
-func (l *loader) submit(app string) (*serve.Placement, int, error) {
+func (l *loader) submit(app, key string) (*serve.Placement, int, error) {
 	body, _ := json.Marshal(map[string]string{"app": app})
-	resp, err := l.client.Post(l.cfg.base+"/v1/tasks", "application/json", bytes.NewReader(body))
+	resp, err := l.post("/v1/tasks", key, body)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -710,21 +819,22 @@ func (l *loader) awaitPlacement(id string) *serve.Placement {
 		sleep = l.cfg.pollEvery
 	}
 	for time.Now().Before(l.deadline) {
-		resp, err := l.client.Get(l.cfg.base + "/v1/placements/" + id)
+		rec, err := l.getPlacement(id)
 		if err != nil {
-			return nil
-		}
-		var rec serve.Placement
-		err = json.NewDecoder(resp.Body).Decode(&rec)
-		resp.Body.Close()
-		if err != nil {
-			return nil
-		}
-		switch rec.Status {
-		case serve.StatusPlaced:
-			return &rec
-		case serve.StatusFailed, serve.StatusCompleted:
-			return nil
+			// A poll that fails mid-restart is survivable under -reconnect:
+			// the record is journaled, so keep polling until the daemon
+			// answers again.
+			if !l.cfg.reconnect {
+				return nil
+			}
+			l.reconnects.Add(1)
+		} else {
+			switch rec.Status {
+			case serve.StatusPlaced:
+				return rec
+			case serve.StatusFailed, serve.StatusCompleted:
+				return nil
+			}
 		}
 		time.Sleep(sleep)
 		if sleep *= 2; sleep > l.cfg.pollEvery {
@@ -734,9 +844,27 @@ func (l *loader) awaitPlacement(id string) *serve.Placement {
 	return nil
 }
 
+// getPlacement fetches one placement record.
+func (l *loader) getPlacement(id string) (*serve.Placement, error) {
+	resp, err := l.client.Get(l.cfg.base + "/v1/placements/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("placement %s: HTTP %d", id, resp.StatusCode)
+	}
+	var rec serve.Placement
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
 func (l *loader) complete(id string, o serve.Observation) (int, error) {
 	body, _ := json.Marshal(o)
-	resp, err := l.client.Post(l.cfg.base+"/v1/placements/"+id+"/complete", "application/json", bytes.NewReader(body))
+	resp, err := l.post("/v1/placements/"+id+"/complete", "", body)
 	if err != nil {
 		return 0, err
 	}

@@ -11,6 +11,11 @@
 //	tracontrace -in results/trace_seed1.ndjson -run dynamic/MIBS8-RT
 //	tracontrace -in results/trace_seed1.ndjson -run fifo -top 20
 //	tracontrace -in results/trace_seed1.ndjson -run spotcheck -perfetto out.json
+//
+// It also inspects tracond's durability journal offline:
+//
+//	tracontrace -wal-dump /var/lib/tracond    # render snapshots + WAL events
+//	tracontrace -wal-verify /var/lib/tracond  # CRC/chain check, summary line
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"log"
 	"os"
 
+	"tracon/internal/durable"
 	"tracon/internal/obs"
 )
 
@@ -27,13 +33,33 @@ func main() {
 	log.SetPrefix("tracontrace: ")
 
 	var (
-		in       = flag.String("in", "", "NDJSON trace export to read (default: stdin)")
-		run      = flag.String("run", "", "only analyse runs whose label contains this substring")
-		list     = flag.Bool("list", false, "list matching runs (label, scheduler, machines, events) and exit")
-		topK     = flag.Int("top", 10, "how many longest-waiting tasks to print")
-		perfetto = flag.String("perfetto", "", "write the matching run as Chrome/Perfetto trace_event JSON to this file (requires the filter to match exactly one run)")
+		in        = flag.String("in", "", "NDJSON trace export to read (default: stdin)")
+		run       = flag.String("run", "", "only analyse runs whose label contains this substring")
+		list      = flag.Bool("list", false, "list matching runs (label, scheduler, machines, events) and exit")
+		topK      = flag.Int("top", 10, "how many longest-waiting tasks to print")
+		perfetto  = flag.String("perfetto", "", "write the matching run as Chrome/Perfetto trace_event JSON to this file (requires the filter to match exactly one run)")
+		walDump   = flag.String("wal-dump", "", "render a tracond journal (data dir, .wal segment or .snap file) as text and exit")
+		walVerify = flag.String("wal-verify", "", "integrity-check a tracond journal (CRCs, sequence chain, torn tail) and exit")
 	)
 	flag.Parse()
+
+	if *walDump != "" {
+		n, err := durable.Dump(os.Stdout, *walDump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d event(s)\n", n)
+		return
+	}
+	if *walVerify != "" {
+		res, err := durable.Verify(*walVerify)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ok: %d snapshot(s), %d segment(s), %d event(s), last seq %d, torn tail %v\n",
+			res.Snapshots, res.Segments, res.Events, res.LastSeq, res.TornTail)
+		return
+	}
 
 	src := os.Stdin
 	if *in != "" {

@@ -1,0 +1,14 @@
+package durable
+
+import "time"
+
+// Clock is the package's only source of wall time. Everything that needs
+// a timestamp — fsync-interval pacing, metric durations — reads it
+// through the Options.Now injection point, so recovery and rotation
+// behavior is deterministic under a fake clock. A test in this package
+// enforces that no other file calls time.Now directly.
+type Clock func() time.Time
+
+// defaultClock is the production clock. It is the single permitted
+// time.Now call site in this package.
+func defaultClock() time.Time { return time.Now() }

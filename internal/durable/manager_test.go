@@ -1,0 +1,414 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracon/internal/obs"
+)
+
+func testOpts() Options {
+	return Options{Fsync: FsyncAlways, Now: fixedClock()}
+}
+
+// admitEv builds one appendable admit event (Seq is assigned by Append).
+func admitEv(task string) Event {
+	return Event{Kind: EvAdmit, Task: task, App: "sort", Machine: -1, Slot: -1}
+}
+
+func TestManagerColdStartAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if ri := m.Recovery(); ri.Snapshot != nil || len(ri.Events) != 0 {
+		t.Fatalf("cold start recovered %+v", ri)
+	}
+	last, err := m.Append(admitEv("t-1"), admitEv("t-2"))
+	if err != nil || last != 2 {
+		t.Fatalf("Append: seq %d, %v", last, err)
+	}
+	if _, err := m.Append(admitEv("t-3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	m2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	ri := m2.Recovery()
+	if ri.Snapshot != nil {
+		t.Fatal("no snapshot was written, but one was recovered")
+	}
+	if len(ri.Events) != 3 || ri.Events[0].Task != "t-1" || ri.Events[2].Task != "t-3" {
+		t.Fatalf("replay events: %+v", ri.Events)
+	}
+	if m2.LastSeq() != 3 || ri.LastSeq() != 3 {
+		t.Fatalf("LastSeq: manager %d, recovery %d", m2.LastSeq(), ri.LastSeq())
+	}
+	// Appends continue the chain, not restart it.
+	if seq, err := m2.Append(admitEv("t-4")); err != nil || seq != 4 {
+		t.Fatalf("append after reopen: seq %d, %v", seq, err)
+	}
+}
+
+func TestManagerSnapshotCompactsReplay(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := m.Append(admitEv("t-x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.WriteSnapshot(&PlacerState{Seq: m.LastSeq(), NextID: 6}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	// Two post-snapshot events are the only replay suffix.
+	m.Append(admitEv("t-6"))
+	m.Append(admitEv("t-7"))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	ri := m2.Recovery()
+	if ri.Snapshot == nil || ri.Snapshot.Seq != 5 || ri.Snapshot.NextID != 6 {
+		t.Fatalf("snapshot: %+v", ri.Snapshot)
+	}
+	if len(ri.Events) != 2 || ri.Events[0].Seq != 6 || ri.Events[1].Seq != 7 {
+		t.Fatalf("replay suffix: %+v", ri.Events)
+	}
+	// The pre-snapshot segment was pruned.
+	segs, _ := listSeqFiles(dir, walPrefix, walSuffix)
+	for _, sf := range segs {
+		if sf.seq == 1 {
+			t.Fatalf("segment %s should have been pruned", sf.name)
+		}
+	}
+}
+
+func TestManagerSnapshotPruneKeep(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SnapshotKeep = 2
+	m, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := m.Append(admitEv("t-x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteSnapshot(&PlacerState{Seq: m.LastSeq()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, _ := listSeqFiles(dir, snapPrefix, snapSuffix)
+	if len(snaps) != 2 || snaps[0].seq != 3 || snaps[1].seq != 4 {
+		t.Fatalf("retained snapshots: %+v", snaps)
+	}
+}
+
+// TestManagerCorruptSnapshotFallback simulates a crash mid-rotation that
+// leaves a newest snapshot failing its CRC: recovery must fall back to
+// the previous snapshot and replay the (still unpruned) WAL suffix.
+func TestManagerCorruptSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m.Append(admitEv("t-x"))
+	}
+	if err := m.WriteSnapshot(&PlacerState{Seq: 5, NextID: 6}); err != nil {
+		t.Fatal(err)
+	}
+	m.Append(admitEv("t-6"))
+	m.Append(admitEv("t-7"))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The torn newest snapshot: claims to cover seq 7, fails its CRC.
+	garbage := append(append([]byte{}, snapMagic[:]...), []byte("torn mid write")...)
+	if err := os.WriteFile(filepath.Join(dir, seqName(snapPrefix, 7, snapSuffix)), garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	ri := m2.Recovery()
+	if ri.SkippedSnapshots != 1 {
+		t.Fatalf("SkippedSnapshots = %d, want 1", ri.SkippedSnapshots)
+	}
+	if ri.Snapshot == nil || ri.Snapshot.Seq != 5 {
+		t.Fatalf("fallback snapshot: %+v", ri.Snapshot)
+	}
+	if len(ri.Events) != 2 || ri.Events[0].Seq != 6 {
+		t.Fatalf("replay suffix after fallback: %+v", ri.Events)
+	}
+}
+
+// TestManagerSnapshotSeqMismatch: a snapshot whose internal Seq disagrees
+// with its filename is structural corruption, not a fallback case.
+func TestManagerSnapshotSeqMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshotFile(filepath.Join(dir, seqName(snapPrefix, 10, snapSuffix)), &PlacerState{Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testOpts()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("seq mismatch: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestManagerSnapshotBeyondWAL(t *testing.T) {
+	m, err := Open(t.TempDir(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.Append(admitEv("t-1"))
+	if err := m.WriteSnapshot(&PlacerState{Seq: 9}); err == nil {
+		t.Fatal("snapshot claiming unjournaled seq accepted")
+	}
+}
+
+// TestManagerHeaderlessLastSegment: a crash between segment creation and
+// the magic-header write leaves a zero-byte last segment. It must be
+// replaced, not opened for append (appending would produce a magicless
+// file every future recovery rejects).
+func TestManagerHeaderlessLastSegment(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Append(admitEv("t-1"))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, seqName(walPrefix, 2, walSuffix)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatalf("reopen over headerless segment: %v", err)
+	}
+	if len(m2.Recovery().Events) != 1 {
+		t.Fatalf("replay: %+v", m2.Recovery().Events)
+	}
+	if seq, err := m2.Append(admitEv("t-2")); err != nil || seq != 2 {
+		t.Fatalf("append: seq %d, %v", seq, err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer m3.Close()
+	if len(m3.Recovery().Events) != 2 {
+		t.Fatalf("final replay: %+v", m3.Recovery().Events)
+	}
+}
+
+// TestManagerTornTailAcrossRestart crashes "mid-append" by chopping bytes
+// off the live segment, then verifies recovery truncates and resumes.
+func TestManagerTornTailAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Append(admitEv("t-1"))
+	m.Append(admitEv("t-2"))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, seqName(walPrefix, 1, walSuffix))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	defer m2.Close()
+	ri := m2.Recovery()
+	if !ri.TornTail || len(ri.Events) != 1 || ri.Events[0].Task != "t-1" {
+		t.Fatalf("torn recovery: torn=%v events=%+v", ri.TornTail, ri.Events)
+	}
+	// The lost event's seq is reused: the chain stays gapless.
+	if seq, err := m2.Append(admitEv("t-2b")); err != nil || seq != 2 {
+		t.Fatalf("append after torn recovery: seq %d, %v", seq, err)
+	}
+}
+
+// TestManagerIdleSnapshots: snapshotting with an empty live segment (a
+// cold boot's post-recovery snapshot, an idle age-ticker loop) must not
+// try to recreate the live segment's filename.
+func TestManagerIdleSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Cold start: seq 0 snapshot, twice (boot + first ticker fire).
+	if err := m.WriteSnapshot(&PlacerState{Seq: 0}); err != nil {
+		t.Fatalf("cold snapshot: %v", err)
+	}
+	if err := m.WriteSnapshot(&PlacerState{Seq: 0}); err != nil {
+		t.Fatalf("repeat cold snapshot: %v", err)
+	}
+	m.Append(admitEv("t-1"))
+	if err := m.WriteSnapshot(&PlacerState{Seq: 1}); err != nil {
+		t.Fatalf("snapshot after traffic: %v", err)
+	}
+	// Idle loop: same seq again, live segment empty.
+	if err := m.WriteSnapshot(&PlacerState{Seq: 1}); err != nil {
+		t.Fatalf("idle snapshot: %v", err)
+	}
+	if seq, err := m.Append(admitEv("t-2")); err != nil || seq != 2 {
+		t.Fatalf("append after idle snapshots: seq %d, %v", seq, err)
+	}
+}
+
+func TestManagerSizeSignal(t *testing.T) {
+	opts := testOpts()
+	opts.WALMaxBytes = 1 // every append overflows
+	m, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.Append(admitEv("t-1"))
+	select {
+	case <-m.SnapshotSignal():
+	default:
+		t.Fatal("size-based snapshot signal did not fire")
+	}
+}
+
+func TestManagerClosedAppend(t *testing.T) {
+	m, err := Open(t.TempDir(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if _, err := m.Append(admitEv("t-1")); err == nil {
+		t.Fatal("append to closed manager accepted")
+	}
+	if err := m.WriteSnapshot(&PlacerState{}); err == nil {
+		t.Fatal("snapshot on closed manager accepted")
+	}
+}
+
+func TestManagerMetrics(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Append(admitEv("t-1"))
+	m.Close()
+
+	m2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	reg := obs.NewRegistry()
+	m2.AttachMetrics(reg)
+	m2.Append(admitEv("t-2"), admitEv("t-3"))
+	if got := reg.Counter("durable.wal_appends").Value(); got != 2 {
+		t.Fatalf("wal_appends = %v, want 2", got)
+	}
+	if got := reg.Gauge("durable.recovery_replayed_events").Value(); got != 1 {
+		t.Fatalf("recovery_replayed_events = %v, want 1", got)
+	}
+	if reg.Counter("durable.wal_bytes").Value() <= 0 {
+		t.Fatal("wal_bytes not counted")
+	}
+}
+
+func TestInspectDumpAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m.Append(admitEv("t-x"))
+	}
+	if err := m.WriteSnapshot(&PlacerState{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if res.Snapshots != 1 || res.LastSeq != 3 || res.Events == 0 {
+		t.Fatalf("Verify result: %+v", res)
+	}
+
+	var buf bytes.Buffer
+	n, err := Dump(&buf, dir)
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	if n == 0 || !strings.Contains(buf.String(), EvAdmit) {
+		t.Fatalf("Dump rendered %d events:\n%s", n, buf.String())
+	}
+
+	// Verify catches a flipped byte in a segment.
+	segs, _ := listSeqFiles(dir, walPrefix, walSuffix)
+	var target string
+	for _, sf := range segs {
+		if sf.seq == 1 {
+			target = filepath.Join(dir, sf.name)
+		}
+	}
+	if target == "" {
+		t.Fatalf("no event-bearing segment in %+v", segs)
+	}
+	data, _ := os.ReadFile(target)
+	if len(data) > len(walMagic) {
+		data[len(walMagic)+frameHeader] ^= 0x01
+		os.WriteFile(target, data, 0o644)
+		if _, err := Verify(target); err == nil {
+			t.Fatal("Verify accepted a corrupt segment")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file format: the snapshot magic ("TRCNSNP1") followed by one
+// CRC32C frame whose payload is the JSON PlacerState — the same framing
+// the WAL uses, so a torn snapshot (a crash mid-write) is detected the
+// same way. Snapshots are written to a temp file, fsynced, and renamed
+// into place; a reader never sees a half-written snapshot under its
+// final name unless the rename itself was torn, which the CRC catches.
+
+// WriteSnapshotFile atomically writes state to path.
+func WriteSnapshotFile(path string, state *PlacerState) error {
+	payload, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("durable: encoding snapshot: %w", err)
+	}
+	var buf []byte
+	buf = append(buf, snapMagic[:]...)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castTable))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadSnapshot decodes one snapshot stream.
+func ReadSnapshot(r io.Reader) (*PlacerState, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+frameHeader {
+		return nil, fmt.Errorf("%w: snapshot too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	if [8]byte(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	rest := data[len(snapMagic):]
+	length := binary.LittleEndian.Uint32(rest[0:4])
+	crc := binary.LittleEndian.Uint32(rest[4:8])
+	if int64(length) > maxSnapshot || int64(len(rest)) < frameHeader+int64(length) {
+		return nil, fmt.Errorf("%w: snapshot frame truncated", ErrCorrupt)
+	}
+	payload := rest[frameHeader : frameHeader+int64(length)]
+	if crc32.Checksum(payload, castTable) != crc {
+		return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	var state PlacerState
+	if err := json.Unmarshal(payload, &state); err != nil {
+		return nil, fmt.Errorf("%w: undecodable snapshot: %v", ErrCorrupt, err)
+	}
+	return &state, nil
+}
+
+// maxSnapshot bounds a snapshot payload (a full placement map at the
+// default finished-ring cap is well under this).
+const maxSnapshot = 1 << 30
+
+// ReadSnapshotFile reads one snapshot file.
+func ReadSnapshotFile(path string) (*PlacerState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+// syncDir fsyncs a directory so a rename or unlink inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -42,6 +42,7 @@ type Coalescer struct {
 type coalesceEntry struct {
 	app    string
 	reqID  string
+	key    string // idempotency key ("" when the client supplied no ID)
 	parked time.Time
 	ch     chan coalesceResult
 }
@@ -77,9 +78,16 @@ func (c *Coalescer) Submit(app string) (*Placement, error) {
 // SubmitTagged is Submit carrying the originating request ID through the
 // batch to the placement record and its trace spans.
 func (c *Coalescer) SubmitTagged(app, reqID string) (*Placement, error) {
+	return c.SubmitKeyed(app, reqID, "")
+}
+
+// SubmitKeyed is SubmitTagged with an idempotency key, carried through
+// the flushed batch so a keyed retry dedups even when it lands in a
+// different micro-batch than the original.
+func (c *Coalescer) SubmitKeyed(app, reqID, key string) (*Placement, error) {
 	ch := make(chan coalesceResult, 1)
 	c.mu.Lock()
-	c.pending = append(c.pending, coalesceEntry{app: app, reqID: reqID, parked: time.Now(), ch: ch})
+	c.pending = append(c.pending, coalesceEntry{app: app, reqID: reqID, key: key, parked: time.Now(), ch: ch})
 	c.waiting.Set(float64(len(c.pending)))
 	if len(c.pending) >= c.maxBatch {
 		batch := c.takeLocked()
@@ -123,14 +131,16 @@ func (c *Coalescer) flush(batch []coalesceEntry) {
 	}
 	apps := make([]string, len(batch))
 	reqIDs := make([]string, len(batch))
+	keys := make([]string, len(batch))
 	t0 := time.Now()
 	for i, e := range batch {
 		apps[i] = e.app
 		reqIDs[i] = e.reqID
+		keys[i] = e.key
 		// The parked interval ends when the flush trips, scheduling excluded.
 		c.placer.tracer.coalesceWait(e.reqID, e.app, t0.Sub(e.parked))
 	}
-	outcomes, err := c.placer.SubmitBatchTagged(apps, reqIDs)
+	outcomes, err := c.placer.SubmitBatchKeyed(apps, reqIDs, keys)
 	c.decisionHist.Observe(time.Since(t0).Seconds())
 	c.sizeHist.Observe(float64(len(batch)))
 	for i, e := range batch {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"tracon/internal/durable"
 	"tracon/internal/model"
 	"tracon/internal/sched"
 )
@@ -71,6 +72,11 @@ type Placement struct {
 	// bg is the neighbour's characteristic vector at placement time, kept
 	// for the retraining sample the completion observation turns into.
 	bg []float64
+	// idem is the idempotency key the submission was registered under (""
+	// for server-minted request IDs). A resubmission carrying the same key
+	// — a client retry across a daemon crash — returns this record instead
+	// of creating a duplicate.
+	idem string
 }
 
 // clone returns a copy safe to hand out after the placer lock is dropped.
@@ -122,12 +128,18 @@ type Placer struct {
 	admission *Admission // nil disables the queue bound
 	// tracer records lifecycle spans (nil-safe; set by serve.New).
 	tracer *serveTracer
+	// journal receives one event per state mutation, appended inside the
+	// same critical section as the mutation (nil-safe; set by recovery).
+	journal *journal
 
 	mu         sync.Mutex
 	machines   []machine
 	queue      []string // queued placement IDs, FIFO
 	placements map[string]*Placement
 	nextID     int64
+	// dedup maps idempotency keys to placement IDs for as long as the
+	// record itself is retained; entries leave with the finished ring.
+	dedup map[string]string
 
 	// version stamps the mutable state (queue, slots, machine states);
 	// every mutation bumps it, and an optimistic scheduling pass commits
@@ -165,6 +177,7 @@ func NewPlacer(models *ModelSet, admission *Admission, machines, completedCap in
 		admission:  admission,
 		machines:   inventory,
 		placements: map[string]*Placement{},
+		dedup:      map[string]string{},
 		doneCap:    completedCap,
 	}, nil
 }
@@ -181,17 +194,44 @@ func (p *Placer) Submit(app string) (*Placement, error) {
 // SubmitTagged is Submit carrying the originating request ID, which lands
 // on the placement record and every trace span the task emits.
 func (p *Placer) SubmitTagged(app, reqID string) (*Placement, error) {
+	return p.SubmitKeyed(app, reqID, "")
+}
+
+// SubmitKeyed is SubmitTagged with an idempotency key: a non-empty key
+// that matches a retained record — a client retrying a submit it never
+// saw acknowledged, possibly across a daemon crash — returns that record
+// instead of admitting a duplicate. The dedup check, the admission bound
+// and the enqueue share one critical section, and the admit event is
+// journaled (and, under fsync=always, on disk) before the caller is
+// acknowledged.
+func (p *Placer) SubmitKeyed(app, reqID, key string) (*Placement, error) {
 	view := p.models.View()
 	if err := p.checkKnown(view, app); err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
+	if key != "" {
+		if id, ok := p.dedup[key]; ok {
+			if rec, ok := p.placements[id]; ok {
+				out := rec.clone()
+				p.mu.Unlock()
+				return out, nil
+			}
+		}
+	}
 	if budget := p.admitBudgetLocked(); budget == 0 {
 		p.mu.Unlock()
 		p.tracer.reject(reqID, app, "queue full")
 		return nil, ErrQueueFull
 	}
 	rec := p.enqueueLocked(app, reqID)
+	if key != "" {
+		rec.idem = key
+		p.dedup[key] = rec.ID
+	}
+	if p.journal.enabled() {
+		p.journal.append(admitEvent(rec))
+	}
 	p.mu.Unlock()
 	p.tracer.admit(reqID, rec.ID, app)
 	if err := p.drain(); err != nil {
@@ -221,6 +261,15 @@ func (p *Placer) SubmitBatch(apps []string) ([]BatchOutcome, error) {
 // SubmitBatchTagged is SubmitBatch carrying per-task request IDs
 // (positional with apps; nil or short slices leave the remainder untagged).
 func (p *Placer) SubmitBatchTagged(apps, reqIDs []string) ([]BatchOutcome, error) {
+	return p.SubmitBatchKeyed(apps, reqIDs, nil)
+}
+
+// SubmitBatchKeyed is SubmitBatchTagged with per-task idempotency keys
+// (positional; nil or short slices leave the remainder unkeyed). A task
+// whose key matches a retained record returns that record without
+// re-admitting it; the freshly admitted remainder is journaled as one
+// batch_admit event — one commit point, one fsync.
+func (p *Placer) SubmitBatchKeyed(apps, reqIDs, keys []string) ([]BatchOutcome, error) {
 	view := p.models.View()
 	out := make([]BatchOutcome, len(apps))
 	var recs []*Placement
@@ -230,10 +279,26 @@ func (p *Placer) SubmitBatchTagged(apps, reqIDs []string) ([]BatchOutcome, error
 		}
 		return ""
 	}
+	key := func(i int) string {
+		if i < len(keys) {
+			return keys[i]
+		}
+		return ""
+	}
 
 	p.mu.Lock()
 	budget := p.admitBudgetLocked()
+	deduped := make([]bool, len(apps))
 	for i, app := range apps {
+		if k := key(i); k != "" {
+			if id, ok := p.dedup[k]; ok {
+				if rec, ok := p.placements[id]; ok {
+					out[i].Placement = rec // live pointer; cloned below
+					deduped[i] = true
+					continue
+				}
+			}
+		}
 		if err := p.checkKnown(view, app); err != nil {
 			out[i].Err = err
 			continue
@@ -246,13 +311,24 @@ func (p *Placer) SubmitBatchTagged(apps, reqIDs []string) ([]BatchOutcome, error
 			budget--
 		}
 		rec := p.enqueueLocked(app, reqID(i))
+		if k := key(i); k != "" {
+			rec.idem = k
+			p.dedup[k] = rec.ID
+		}
 		out[i].Placement = rec // live pointer; snapshotted after the drain
 		recs = append(recs, rec)
+	}
+	if p.journal.enabled() && len(recs) > 0 {
+		refs := make([]durable.TaskRef, len(recs))
+		for i, rec := range recs {
+			refs[i] = taskRef(rec)
+		}
+		p.journal.append(durable.Event{Kind: durable.EvBatchAdmit, Tasks: refs, Machine: -1, Slot: -1})
 	}
 	p.mu.Unlock()
 	for i, app := range apps {
 		switch {
-		case out[i].Placement != nil:
+		case out[i].Placement != nil && !deduped[i]:
 			p.tracer.admit(reqID(i), out[i].Placement.ID, app)
 		case errors.Is(out[i].Err, ErrQueueFull):
 			p.tracer.reject(reqID(i), app, "queue full")
@@ -362,6 +438,12 @@ func (p *Placer) Complete(id string) (*Placement, error) {
 	rec.Status = StatusCompleted
 	p.finishLocked(rec.ID)
 	p.version++
+	if p.journal.enabled() {
+		p.journal.append(durable.Event{
+			Kind: durable.EvComplete, Task: rec.ID,
+			Machine: rec.Machine, Slot: rec.Slot,
+		})
+	}
 	out := rec.clone()
 	p.mu.Unlock()
 	p.tracer.complete(out)
@@ -458,23 +540,23 @@ func (p *Placer) Snapshot() Snapshot {
 // Drain cordons an up machine: its in-flight tasks finish, but it accepts
 // no new placements until Undrain.
 func (p *Placer) Drain(id int) error {
-	return p.transition(id, MachineUp, MachineDrained, false)
+	return p.transition(id, MachineUp, MachineDrained, durable.EvDrain, false)
 }
 
 // Undrain returns a drained machine to service and re-runs the scheduler —
 // the restored capacity may immediately absorb backlog.
 func (p *Placer) Undrain(id int) error {
-	return p.transition(id, MachineDrained, MachineUp, true)
+	return p.transition(id, MachineDrained, MachineUp, durable.EvUndrain, true)
 }
 
 // Revive returns a down machine to service and re-runs the scheduler.
 func (p *Placer) Revive(id int) error {
-	return p.transition(id, MachineDown, MachineUp, true)
+	return p.transition(id, MachineDown, MachineUp, durable.EvRevive, true)
 }
 
 // transition moves machine id from one state to another, optionally
 // draining the backlog onto any capacity the transition restored.
-func (p *Placer) transition(id int, from, to string, redrain bool) error {
+func (p *Placer) transition(id int, from, to, kind string, redrain bool) error {
 	p.mu.Lock()
 	if id < 0 || id >= len(p.machines) {
 		p.mu.Unlock()
@@ -487,6 +569,9 @@ func (p *Placer) transition(id int, from, to string, redrain bool) error {
 	}
 	m.state = to
 	p.version++
+	if p.journal.enabled() {
+		p.journal.append(durable.Event{Kind: kind, Machine: id, Slot: -1})
+	}
 	p.mu.Unlock()
 	if redrain {
 		return p.drain()
@@ -521,20 +606,19 @@ func (p *Placer) Kill(id int) (requeued int, err error) {
 		}
 	}
 	evicted := make([]*Placement, 0, len(lost))
+	refs := make([]durable.TaskRef, 0, len(lost))
 	for _, tid := range lost {
 		rec := p.placements[tid]
-		rec.Status = StatusQueued
-		rec.Machine = -1
-		rec.Slot = -1
-		rec.Neighbour = ""
-		rec.PredictedRuntime = 0
-		rec.PredictedIOPS = 0
-		rec.bg = nil
+		resetToQueuedLocked(rec)
 		rec.Retries++
 		evicted = append(evicted, rec.clone())
+		refs = append(refs, taskRef(rec))
 	}
 	p.queue = append(lost, p.queue...)
 	p.version++
+	if p.journal.enabled() {
+		p.journal.append(durable.Event{Kind: durable.EvKill, Machine: id, Slot: -1, Tasks: refs})
+	}
 	p.mu.Unlock()
 	for _, rec := range evicted {
 		p.tracer.evictRequeue(rec, id, lostSlots[rec.ID])
@@ -579,11 +663,16 @@ func (p *Placer) Machines() []MachineView {
 }
 
 // finishLocked appends id to the finished ring, evicting the oldest
-// finished record beyond the cap.
+// finished record beyond the cap. An evicted record takes its dedup
+// entry with it — the idempotency window is exactly the retention window.
 func (p *Placer) finishLocked(id string) {
 	p.done = append(p.done, id)
 	for len(p.done) > p.doneCap {
-		delete(p.placements, p.done[0])
+		old := p.done[0]
+		if rec, ok := p.placements[old]; ok && rec.idem != "" {
+			delete(p.dedup, rec.idem)
+		}
+		delete(p.placements, old)
 		p.done = p.done[1:]
 	}
 }
@@ -630,6 +719,7 @@ func (p *Placer) planLocked() (plan schedPlan, ok bool) {
 	// Evict unknowable queue entries first (possible after a hot-swap to a
 	// different census): fail loudly instead of wedging the queue head.
 	kept := p.queue[:0]
+	var failed []durable.Event
 	for _, id := range p.queue {
 		rec := p.placements[id]
 		if view.Known[rec.App] {
@@ -640,8 +730,14 @@ func (p *Placer) planLocked() (plan schedPlan, ok bool) {
 		rec.Error = fmt.Sprintf("application %q unknown to generation %d library", rec.App, view.Gen)
 		p.finishLocked(id)
 		p.version++
+		if p.journal.enabled() {
+			failed = append(failed, durable.Event{
+				Kind: durable.EvFail, Task: id, Machine: -1, Slot: -1, Error: rec.Error,
+			})
+		}
 	}
 	p.queue = kept
+	p.journal.append(failed...)
 
 	if len(p.queue) == 0 || p.freeSlotsLocked() == 0 {
 		return schedPlan{}, false
@@ -678,13 +774,20 @@ func (p *Placer) commitLocked(plan schedPlan, placements []sched.Placement) (don
 		return true, nil
 	}
 	placedIDs := map[int64]bool{}
+	var placedEvs []durable.Event
 	for _, pl := range placements {
 		id := plan.ids[pl.Task.ID]
-		if err := p.executeLocked(p.placements[id], pl.Category, plan.view); err != nil {
+		rec := p.placements[id]
+		if err := p.executeLocked(rec, pl.Category, plan.view); err != nil {
 			return true, err
 		}
 		placedIDs[pl.Task.ID] = true
+		if p.journal.enabled() {
+			placedEvs = append(placedEvs, placeEvent(rec))
+		}
 	}
+	// One pass's placements journal as one group: one fsync per commit.
+	p.journal.append(placedEvs...)
 	kept := p.queue[:0]
 	for i, id := range p.queue {
 		if i >= len(plan.ids) || !placedIDs[int64(i)] {

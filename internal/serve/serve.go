@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tracon/internal/durable"
 	"tracon/internal/model"
 	"tracon/internal/monitor"
 	"tracon/internal/obs"
@@ -95,6 +96,12 @@ type Config struct {
 	SLOWindow     time.Duration
 	SLOLatencyP99 float64
 	SLOErrorRate  float64
+	// Journal, when set, makes the placer crash-safe: New recovers the
+	// placer from the journal's newest snapshot plus WAL replay (verifying
+	// invariants before serving), and every subsequent lifecycle mutation
+	// is appended at its commit point. The server takes ownership of
+	// appends and snapshots; the caller still owns Close.
+	Journal *durable.Manager
 }
 
 // Server is the tracond daemon core, constructed over a trained library.
@@ -117,6 +124,7 @@ type Server struct {
 
 	logger    *slog.Logger
 	tracer    *serveTracer // nil when tracing is disabled
+	journal   *journal     // nil without Config.Journal
 	slo       *obs.SLOTracker
 	sloStatus atomic.Value // string; last evaluated SLO status
 	reqPrefix string
@@ -190,6 +198,11 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 		reqPrefix: newReqPrefix(),
 	}
 	s.sloStatus.Store(obs.SLOStatusNoData)
+	if cfg.Journal != nil {
+		if err := s.recover(cfg.Journal); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.CoalesceWindow > 0 {
 		s.coalescer = NewCoalescer(placer, cfg.CoalesceWindow, batchMax, reg)
 	}
@@ -271,6 +284,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqID := RequestIDFrom(r.Context())
+	// A client-supplied request ID doubles as the idempotency key: a retry
+	// carrying the same ID — including across a daemon crash and restart —
+	// returns the original placement instead of admitting a duplicate.
+	// Server-minted IDs never dedup (the client did not promise anything).
+	key := r.Header.Get(RequestIDHeader)
 	if !s.admission.TryAcquire() {
 		s.tracer.reject(reqID, req.App, "too many in-flight submissions")
 		s.reject(w, 1, 1, "too many in-flight submissions")
@@ -283,9 +301,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	if s.coalescer != nil {
-		rec, err = s.coalescer.SubmitTagged(req.App, reqID)
+		rec, err = s.coalescer.SubmitKeyed(req.App, reqID, key)
 	} else {
-		rec, err = s.placer.SubmitTagged(req.App, reqID)
+		rec, err = s.placer.SubmitKeyed(req.App, reqID, key)
 	}
 	s.decision.Observe(time.Since(t0).Seconds())
 	if errors.Is(err, ErrQueueFull) {
@@ -382,13 +400,23 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.admission.Release()
 
 	// Every task in one HTTP batch shares the request's ID: spans and
-	// records for the whole group join back to one submission.
+	// records for the whole group join back to one submission. When the
+	// client supplied that ID, each task additionally gets a positional
+	// idempotency key derived from it ("<id>#<i>") — the key is an index
+	// entry only and never lands on the record's ReqID.
 	reqIDs := make([]string, len(apps))
+	var keys []string
+	if clientID := r.Header.Get(RequestIDHeader); clientID != "" {
+		keys = make([]string, len(apps))
+		for i := range keys {
+			keys[i] = fmt.Sprintf("%s#%d", clientID, i)
+		}
+	}
 	for i := range reqIDs {
 		reqIDs[i] = reqID
 	}
 	t0 := time.Now()
-	outcomes, err := s.placer.SubmitBatchTagged(apps, reqIDs)
+	outcomes, err := s.placer.SubmitBatchKeyed(apps, reqIDs, keys)
 	elapsed := time.Since(t0).Seconds()
 	s.decision.Observe(elapsed)
 	s.batchLat.Observe(elapsed)
@@ -576,7 +604,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if rep.Status == obs.SLOStatusDegraded {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":      status,
 		"kind":        view.Lib.Kind.String(),
 		"generation":  view.Gen,
@@ -593,7 +621,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"error_rate":        rep.ErrorRate,
 			"error_budget_left": rep.ErrorBudgetLeft,
 		},
-	})
+	}
+	if s.journal != nil {
+		durableErr := ""
+		if err := s.journal.Err(); err != nil {
+			durableErr = err.Error()
+			body["status"] = "degraded"
+		}
+		body["durable"] = map[string]any{
+			"last_seq": s.journal.lastSeq(),
+			"fsync":    s.journal.mgr.Fsync().String(),
+			"error":    durableErr,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics content-negotiates the registry snapshot: the JSON form

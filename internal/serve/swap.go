@@ -30,6 +30,10 @@ type ModelSet struct {
 	known     map[string]bool
 
 	swaps atomic.Uint64
+
+	// onSwap fires after each completed hot-swap with the new generation
+	// (the journal's gen_swap event). Set once before serving starts.
+	onSwap func(gen uint64)
 }
 
 // ModelView is one generation's immutable serving surface.
@@ -101,8 +105,15 @@ func (ms *ModelSet) Swap(lib *model.Library) error {
 		return err
 	}
 	ms.swaps.Add(1)
+	if ms.onSwap != nil {
+		ms.onSwap(next)
+	}
 	return nil
 }
+
+// OnSwap registers the post-swap hook. Must be called before the daemon
+// starts serving (no lock guards the field against a concurrent Swap).
+func (ms *ModelSet) OnSwap(fn func(gen uint64)) { ms.onSwap = fn }
 
 // View snapshots the current generation.
 func (ms *ModelSet) View() ModelView {

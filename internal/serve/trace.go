@@ -104,6 +104,15 @@ func (t *serveTracer) evictRequeue(rec *Placement, machine, slot int) {
 	})
 }
 
+// recovery records one boot-time journal recovery: events replayed
+// (Batch), orphans re-queued (Placed) and the wall time of the whole
+// restore-replay-verify sequence.
+func (t *serveTracer) recovery(replayed, orphans int, dur time.Duration) {
+	t.emit("recovery", obs.ServeInfo{
+		Machine: -1, Slot: -1, Batch: replayed, Placed: orphans, DurS: dur.Seconds(),
+	})
+}
+
 // writeNDJSON streams the retained spans; nil tracers write nothing.
 func (t *serveTracer) writeNDJSON(w io.Writer) error {
 	if t == nil {

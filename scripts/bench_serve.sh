@@ -9,11 +9,17 @@
 #      each task group. Two workers keep 16 tasks in flight — exactly the
 #      8-machine cluster's slot count, a burst the batch path absorbs
 #      without queueing; more tasks per run damp the short-run variance.
+#   4. a durability sweep: the same singleton + batched runs repeated
+#      against a journaling daemon (-data-dir) under each WAL fsync
+#      policy (always, interval, never), so the price of crash safety on
+#      the serving path is measured, not guessed. Each policy gets a
+#      fresh data dir; the trained library is saved once and reloaded so
+#      every daemon serves identical models.
 # Usage: bench_serve.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr9.json}"
 workdir="$(mktemp -d)"
 daemon_pid=""
 
@@ -31,43 +37,84 @@ go test -json -run '^$' -bench 'BenchmarkPredict(Cached|Uncached)(NLM|Forest)' \
 go build -o "$workdir/tracond" ./cmd/tracond
 go build -o "$workdir/traconload" ./cmd/traconload
 
-"$workdir/tracond" \
-    -addr 127.0.0.1:0 -portfile "$workdir/port" \
-    -machines 8 -model NLM -policy mios -seed 1 \
-    >"$workdir/tracond.log" 2>&1 &
-daemon_pid=$!
-for _ in $(seq 300); do
-    [[ -s "$workdir/port" ]] && break
-    sleep 0.1
+# boot_and_load <suffix> [extra tracond flags...]: start a daemon, run the
+# fixed-seed singleton and batched bursts against it, write the summaries
+# to load_singleton_<suffix>.json / load_batched_<suffix>.json, drain.
+boot_and_load() {
+    local suffix="$1"
+    shift
+    : >"$workdir/port"
+    "$workdir/tracond" \
+        -addr 127.0.0.1:0 -portfile "$workdir/port" \
+        -machines 8 -model NLM -policy mios -seed 1 \
+        "$@" \
+        >>"$workdir/tracond.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 300); do
+        [[ -s "$workdir/port" ]] && break
+        sleep 0.1
+    done
+    local addr
+    addr="$(tr -d '\n' <"$workdir/port")"
+
+    "$workdir/traconload" \
+        -addr "$addr" -tasks 500 -concurrency 8 -seed 1 -json \
+        >"$workdir/load_singleton_$suffix.json"
+
+    "$workdir/traconload" \
+        -addr "$addr" -tasks 2000 -concurrency 2 -batch 8 -seed 1 -json \
+        >"$workdir/load_batched_$suffix.json"
+
+    kill -TERM "$daemon_pid"
+    wait "$daemon_pid"
+    daemon_pid=""
+}
+
+# In-memory baseline (the PR-7 configuration), saving the trained library
+# so the durability sweep reloads it instead of retraining.
+boot_and_load mem -save-models "$workdir/models.json"
+
+# Durability sweep: identical load, journal enabled, one fsync policy per
+# run. "always" pays one fsync per committed event group, "interval"
+# amortizes over a 50ms window, "never" leaves flushing to the kernel.
+for policy in always interval never; do
+    boot_and_load "$policy" \
+        -models "$workdir/models.json" \
+        -data-dir "$workdir/data-$policy" \
+        -fsync "$policy"
 done
-addr="$(tr -d '\n' <"$workdir/port")"
-
-"$workdir/traconload" \
-    -addr "$addr" -tasks 500 -concurrency 8 -seed 1 -json \
-    >"$workdir/load_singleton.json"
-
-"$workdir/traconload" \
-    -addr "$addr" -tasks 2000 -concurrency 2 -batch 8 -seed 1 -json \
-    >"$workdir/load_batched.json"
-
-kill -TERM "$daemon_pid"
-wait "$daemon_pid"
-daemon_pid=""
 
 # Stitch the captures into one artifact: the go-test event stream under
-# "cache_benchmarks" (one event per line) and the two load summaries.
+# "cache_benchmarks" (one event per line), the in-memory baseline load
+# summaries, and the per-policy durable runs under "fsync_sweep".
 {
     echo '{'
-    echo '  "bench": "pr7-serving",'
+    echo '  "bench": "pr9-serving",'
     echo '  "config": {"machines": 8, "model": "NLM", "policy": "mios", "seed": 1, "singleton": {"tasks": 500, "concurrency": 8}, "batched": {"tasks": 2000, "concurrency": 2, "batch": 8}},'
     echo '  "cache_benchmarks": ['
     sed -e 's/^/    /' -e '$!s/$/,/' "$workdir/cache.json"
     echo '  ],'
     echo '  "load_singleton": '
-    sed 's/^/  /' "$workdir/load_singleton.json"
+    sed 's/^/  /' "$workdir/load_singleton_mem.json"
     echo '  ,'
     echo '  "load_batched": '
-    sed 's/^/  /' "$workdir/load_batched.json"
+    sed 's/^/  /' "$workdir/load_batched_mem.json"
+    echo '  ,'
+    echo '  "fsync_sweep": {'
+    for policy in always interval never; do
+        echo "    \"$policy\": {"
+        echo '      "load_singleton": '
+        sed 's/^/      /' "$workdir/load_singleton_$policy.json"
+        echo '      ,'
+        echo '      "load_batched": '
+        sed 's/^/      /' "$workdir/load_batched_$policy.json"
+        if [[ "$policy" == never ]]; then
+            echo '    }'
+        else
+            echo '    },'
+        fi
+    done
+    echo '  }'
     echo '}'
 } >"$out"
 
