@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race audit trace serve-smoke obs-smoke chaos crash-smoke fuzz-smoke bench bench-json bench-serve clean
+.PHONY: ci vet build test race audit trace serve-smoke obs-smoke chaos crash-smoke fuzz-smoke dst dst-long cover bench bench-json bench-serve clean
 
-ci: vet build test race audit trace serve-smoke obs-smoke chaos crash-smoke fuzz-smoke
+ci: vet build test race audit trace serve-smoke obs-smoke chaos crash-smoke fuzz-smoke dst cover
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +70,28 @@ crash-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/serve -fuzz=FuzzPlacerBacklog -fuzztime=10s -run '^$$'
 	$(GO) test ./internal/durable -fuzz=FuzzWALReader -fuzztime=10s -run '^$$'
+
+# Deterministic simulation gate: 50 seeded scenarios drive the whole
+# daemon (placer, coalescer, admission, swaps, journal, simulated crashes)
+# on a virtual clock and an in-memory disk, with the full property suite
+# checked after every op; plus the byte-identical-trail contract, the
+# sim-engine equivalence oracle, and the injected-violation meta-test
+# (catch → ddmin shrink → seed repro). A failure prints a one-line
+# `go test ./internal/dst -run 'TestDST$$' -dst-seed=N` reproduction.
+dst:
+	$(GO) test ./internal/dst -count=1 -dst-scenarios=50
+
+# Nightly-depth sweep: an order of magnitude more seeds and longer op
+# streams. Not part of `make ci`.
+dst-long:
+	$(GO) test ./internal/dst -count=1 -dst-scenarios=500 -dst-ops=400 -timeout 30m
+
+# Per-package statement coverage with a ratchet: any package falling more
+# than a point below the floor recorded in COVERAGE.ratchet fails the
+# gate. After genuine coverage gains, raise the floors with
+# `bash scripts/cover_ratchet.sh -update` (it never lowers one).
+cover:
+	bash scripts/cover_ratchet.sh
 
 # Regenerate the paper exhibits through the benchmark harness.
 bench:

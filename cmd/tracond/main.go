@@ -214,6 +214,7 @@ func run(cfg daemonConfig) error {
 			Fsync:         policy,
 			FsyncInterval: cfg.fsyncEvery,
 			WALMaxBytes:   cfg.walMaxBytes,
+			Now:           obs.Wall.Now,
 		})
 		if err != nil {
 			return fmt.Errorf("opening data dir %s: %w", cfg.dataDir, err)
@@ -243,6 +244,7 @@ func run(cfg daemonConfig) error {
 		SLOLatencyP99:  cfg.sloP99,
 		SLOErrorRate:   cfg.sloErrRate,
 		Journal:        mgr,
+		Clock:          obs.Wall,
 	})
 	if err != nil {
 		return err

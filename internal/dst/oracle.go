@@ -1,0 +1,208 @@
+package dst
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tracon/internal/model"
+	"tracon/internal/obs"
+	"tracon/internal/sched"
+	"tracon/internal/serve"
+	"tracon/internal/sim"
+)
+
+// The equivalence oracle replays one arrival/completion schedule through
+// both placement engines the repo grew: the discrete-event simulator
+// (internal/sim, the paper reproduction) and the serving daemon's Placer
+// (internal/serve). Their semantics overlap exactly where both run an
+// online policy (batch size 1) over a fixed two-VM-per-machine cluster
+// with no faults and no admission bound: tasks must start in the same
+// order, the backlog must have the same depth at every synchronization
+// point, and every task must finish. Machine identity is intentionally
+// out of scope — the daemon's free-slot resolution and the simulator's
+// free pool may pick different concrete VMs for the same decision — and
+// so are the batch policies, whose queue reordering is scored against
+// engine-specific load inputs.
+
+type oracleEventKind int
+
+const (
+	otEnqueue oracleEventKind = iota
+	otPlace
+	otComplete
+)
+
+type oracleEvent struct {
+	kind oracleEventKind
+	task int64
+	app  string
+}
+
+// oracleTracer captures the simulator's lifecycle stream: the driver
+// events (enqueue, complete) the serve replay re-issues, and the place
+// events that record the simulator's start order.
+type oracleTracer struct {
+	events []oracleEvent
+}
+
+func (o *oracleTracer) TraceArrival(float64, sched.Task, bool) {}
+func (o *oracleTracer) TraceEnqueue(_ float64, t sched.Task, _ bool) {
+	o.events = append(o.events, oracleEvent{kind: otEnqueue, task: t.ID, app: t.App})
+}
+func (o *oracleTracer) TraceFlush(float64)                  {}
+func (o *oracleTracer) TraceDecision(float64, sim.Decision) {}
+func (o *oracleTracer) TracePop(float64, sim.PopInfo)       {}
+func (o *oracleTracer) TracePlace(_ float64, p sim.PlaceInfo) {
+	o.events = append(o.events, oracleEvent{kind: otPlace, task: p.Task.ID, app: p.Task.App})
+}
+func (o *oracleTracer) TraceSegment(float64, sim.Segment) {}
+func (o *oracleTracer) TraceComplete(_ float64, c sim.Completion) {
+	o.events = append(o.events, oracleEvent{kind: otComplete, task: c.Record.Task.ID, app: c.Record.Task.App})
+}
+func (o *oracleTracer) TraceFault(float64, sim.FaultInfo) {}
+func (o *oracleTracer) TraceDone(float64, *sim.Results)   {}
+
+// RunOracle draws a seeded arrival schedule, runs it to completion in the
+// simulator, then replays the simulator's own event stream against a
+// serve.Placer on a virtual clock and asserts agreement. policy must be
+// an online policy ("fifo" or "mios"); lib both schedules the serve side
+// and scores the simulator side, so the two engines see identical models.
+func RunOracle(lib *model.Library, tbl *sim.InterferenceTable, policy string, machines, tasks int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	apps := lib.Apps()
+	arrivals := make([]sched.Task, tasks)
+	for i := range arrivals {
+		app := apps[rng.Intn(len(apps))]
+		if !tbl.Has(app) {
+			return fmt.Errorf("oracle: app %q trained but not in the interference table", app)
+		}
+		arrivals[i] = sched.Task{ID: int64(i + 1), App: app, Arrival: float64(i)}
+	}
+
+	var scheduler sched.Scheduler
+	switch policy {
+	case "fifo":
+		scheduler = sched.FIFO{}
+	case "mios":
+		scheduler = &sched.MIOS{Scorer: sched.NewScorer(lib, 0)}
+	default:
+		return fmt.Errorf("oracle: policy %q has no overlapping semantics (online policies only)", policy)
+	}
+	tracer := &oracleTracer{}
+	engine, err := sim.NewEngine(sim.Config{
+		Machines:  machines,
+		Scheduler: scheduler,
+		Table:     tbl,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := engine.Run(arrivals, math.Inf(1)); err != nil {
+		return err
+	}
+
+	// Replay the simulator's stream through the serving daemon.
+	srv, err := serve.New(lib, serve.Config{
+		Machines:     machines,
+		Policy:       policy,
+		MaxQueue:     -1, // the simulator has no admission control
+		DisableCache: true,
+		TraceCap:     -1,
+		Clock:        obs.NewVirtualClock(time.Unix(1700000000, 0)),
+	})
+	if err != nil {
+		return err
+	}
+	p := srv.Placer()
+
+	simToServe := map[int64]string{} // sim task ID → serve placement ID
+	serveToSim := map[string]int64{}
+	var order []string // serve IDs in submission order
+	started := map[string]bool{}
+	var simStarts, serveStarts []int64
+	enqueued := 0
+
+	// observeStarts appends every serve task that newly reached the
+	// placed (or later) state, in submission order — which is start order
+	// for an online policy: the placer drains its FIFO backlog head-first.
+	observeStarts := func() {
+		for _, id := range order {
+			if started[id] {
+				continue
+			}
+			rec, ok := p.Get(id)
+			if !ok {
+				continue
+			}
+			if rec.Status == serve.StatusPlaced || rec.Status == serve.StatusCompleted {
+				started[id] = true
+				serveStarts = append(serveStarts, serveToSim[id])
+			}
+		}
+	}
+	// sync asserts the two engines agree at a driver-event boundary: same
+	// start order, same backlog depth.
+	sync := func(at string) error {
+		if len(simStarts) != len(serveStarts) {
+			return fmt.Errorf("oracle: at %s: sim started %d tasks, serve %d", at, len(simStarts), len(serveStarts))
+		}
+		for i := range simStarts {
+			if simStarts[i] != serveStarts[i] {
+				return fmt.Errorf("oracle: at %s: start order diverges at position %d: sim task %d, serve task %d",
+					at, i, simStarts[i], serveStarts[i])
+			}
+		}
+		if want, got := enqueued-len(simStarts), p.QueueDepth(); want != got {
+			return fmt.Errorf("oracle: at %s: serve backlog %d, sim backlog %d", at, got, want)
+		}
+		return p.CheckInvariants()
+	}
+
+	for i, ev := range tracer.events {
+		switch ev.kind {
+		case otPlace:
+			simStarts = append(simStarts, ev.task)
+		case otEnqueue:
+			if err := sync(fmt.Sprintf("event %d (enqueue task %d)", i, ev.task)); err != nil {
+				return err
+			}
+			rec, err := p.Submit(ev.app)
+			if err != nil {
+				return fmt.Errorf("oracle: submit task %d: %w", ev.task, err)
+			}
+			simToServe[ev.task] = rec.ID
+			serveToSim[rec.ID] = ev.task
+			order = append(order, rec.ID)
+			enqueued++
+			observeStarts()
+		case otComplete:
+			if err := sync(fmt.Sprintf("event %d (complete task %d)", i, ev.task)); err != nil {
+				return err
+			}
+			id, ok := simToServe[ev.task]
+			if !ok {
+				return fmt.Errorf("oracle: sim completed task %d the serve side never admitted", ev.task)
+			}
+			if _, err := p.Complete(id); err != nil {
+				return fmt.Errorf("oracle: complete task %d (%s): %w — the engines placed different tasks", ev.task, id, err)
+			}
+			observeStarts()
+		}
+	}
+	if err := sync("end of stream"); err != nil {
+		return err
+	}
+	if len(simStarts) != tasks {
+		return fmt.Errorf("oracle: sim started %d of %d tasks", len(simStarts), tasks)
+	}
+	if depth := p.QueueDepth(); depth != 0 {
+		return fmt.Errorf("oracle: %d tasks still queued after the sim completed everything", depth)
+	}
+	if free := p.FreeSlots(); free != 2*machines {
+		return fmt.Errorf("oracle: %d free slots at the end, want %d", free, 2*machines)
+	}
+	return nil
+}

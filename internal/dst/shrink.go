@@ -1,0 +1,46 @@
+package dst
+
+// Shrink minimizes a failing op stream with ddmin (Zeller & Hildebrandt):
+// repeatedly try dropping complement chunks at increasing granularity,
+// keeping any candidate that still fails, until the stream is 1-minimal —
+// removing any single remaining op makes the failure disappear. fails
+// must be deterministic (DST scenarios are: the whole daemon runs on a
+// virtual clock and an in-memory disk), and must return true for ops.
+func Shrink(ops []Op, fails func([]Op) bool) []Op {
+	if len(ops) == 0 || !fails(ops) {
+		return ops
+	}
+	n := 2
+	for len(ops) >= 2 {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			candidate := make([]Op, 0, len(ops)-(end-start))
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[end:]...)
+			if len(candidate) > 0 && fails(candidate) {
+				ops = candidate
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(ops) {
+			break // 1-minimal: no single-op removal still fails
+		}
+		n *= 2
+		if n > len(ops) {
+			n = len(ops)
+		}
+	}
+	return ops
+}

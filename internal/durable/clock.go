@@ -1,14 +1,22 @@
 package durable
 
-import "time"
+import (
+	"time"
+
+	"tracon/internal/obs"
+)
 
 // Clock is the package's only source of wall time. Everything that needs
 // a timestamp — fsync-interval pacing, metric durations — reads it
 // through the Options.Now injection point, so recovery and rotation
 // behavior is deterministic under a fake clock. A test in this package
 // enforces that no other file calls time.Now directly.
+//
+// The type is the bare Now shape of the shared obs.Clock: pass obs.Wall's
+// Now method in production (the default) or a VirtualClock's Now under
+// the deterministic simulation harness.
 type Clock func() time.Time
 
-// defaultClock is the production clock. It is the single permitted
-// time.Now call site in this package.
-func defaultClock() time.Time { return time.Now() }
+// defaultClock is the production clock, delegating to the shared
+// obs.Wall clock.
+var defaultClock Clock = obs.Wall.Now

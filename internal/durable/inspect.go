@@ -133,11 +133,11 @@ func inspectTargets(path string) ([]string, error) {
 	if !info.IsDir() {
 		return []string{path}, nil
 	}
-	snaps, err := listSeqFiles(path, snapPrefix, snapSuffix)
+	snaps, err := listSeqFiles(OSFS{}, path, snapPrefix, snapSuffix)
 	if err != nil {
 		return nil, err
 	}
-	segs, err := listSeqFiles(path, walPrefix, walSuffix)
+	segs, err := listSeqFiles(OSFS{}, path, walPrefix, walSuffix)
 	if err != nil {
 		return nil, err
 	}

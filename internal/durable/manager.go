@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -48,6 +47,10 @@ type Options struct {
 	SnapshotKeep int
 	// Now injects the clock (defaults to the wall clock).
 	Now Clock
+	// FS injects the filesystem (defaults to OSFS). The deterministic
+	// simulation harness passes a MemFS so crashes can be simulated
+	// in-process.
+	FS FS
 }
 
 // DefaultWALMaxBytes is the size-based snapshot threshold.
@@ -128,7 +131,10 @@ func Open(dir string, opts Options) (*Manager, error) {
 	if opts.SnapshotKeep <= 0 {
 		opts.SnapshotKeep = 2
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, err
 	}
 	m := &Manager{dir: dir, opts: opts, snapSig: make(chan struct{}, 1)}
@@ -140,15 +146,14 @@ func Open(dir string, opts Options) (*Manager, error) {
 
 // listSeqFiles returns the (seq, name) pairs for one prefix/suffix pair,
 // sorted ascending by seq.
-func listSeqFiles(dir, prefix, suffix string) ([]seqFile, error) {
-	entries, err := os.ReadDir(dir)
+func listSeqFiles(fsys FS, dir, prefix, suffix string) ([]seqFile, error) {
+	names, err := fsys.ReadDirNames(dir)
 	if err != nil {
 		return nil, err
 	}
 	var out []seqFile
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+	for _, name := range names {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
 			continue
 		}
 		mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
@@ -173,14 +178,14 @@ func seqName(prefix string, seq uint64, suffix string) string {
 
 // recover loads the snapshot + WAL suffix and opens the live segment.
 func (m *Manager) recover() error {
-	snaps, err := listSeqFiles(m.dir, snapPrefix, snapSuffix)
+	snaps, err := listSeqFiles(m.opts.FS, m.dir, snapPrefix, snapSuffix)
 	if err != nil {
 		return err
 	}
 	// Newest CRC-valid snapshot wins; torn ones (a crash mid-rotation
 	// can leave a bad newest file) fall back to the previous.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		state, err := ReadSnapshotFile(filepath.Join(m.dir, snaps[i].name))
+		state, err := readSnapshotFS(m.opts.FS, filepath.Join(m.dir, snaps[i].name))
 		if err != nil {
 			if errors.Is(err, ErrCorrupt) || errors.Is(err, fs.ErrNotExist) {
 				m.recovery.SkippedSnapshots++
@@ -196,7 +201,7 @@ func (m *Manager) recover() error {
 		break
 	}
 
-	segs, err := listSeqFiles(m.dir, walPrefix, walSuffix)
+	segs, err := listSeqFiles(m.opts.FS, m.dir, walPrefix, walSuffix)
 	if err != nil {
 		return err
 	}
@@ -212,7 +217,7 @@ func (m *Manager) recover() error {
 			continue
 		}
 		path := filepath.Join(m.dir, sf.name)
-		seg, err := ReadWALFile(path, sf.seq)
+		seg, err := readWALFS(m.opts.FS, path, sf.seq)
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", sf.name, err)
 		}
@@ -242,7 +247,7 @@ func (m *Manager) recover() error {
 	// tail) when it is usable, otherwise start fresh.
 	if lastPath != "" && lastGood >= int64(len(walMagic)) {
 		m.segStart = segs[len(segs)-1].seq
-		m.w, err = openWALForAppend(lastPath, lastGood, m.opts.Fsync, m.opts.FsyncInterval, m.opts.Now)
+		m.w, err = openWALForAppend(m.opts.FS, lastPath, lastGood, m.opts.Fsync, m.opts.FsyncInterval, m.opts.Now)
 		if err == nil {
 			m.w.onFsync = m.observeFsync
 		}
@@ -250,7 +255,7 @@ func (m *Manager) recover() error {
 	}
 	if lastPath != "" {
 		// The last segment never got its header to disk; replace it.
-		if err := os.Remove(lastPath); err != nil {
+		if err := m.opts.FS.Remove(lastPath); err != nil {
 			return err
 		}
 	}
@@ -267,14 +272,14 @@ func (m *Manager) rotateLocked() error {
 		m.w = nil
 	}
 	start := m.lastSeq + 1
-	w, err := createWAL(filepath.Join(m.dir, seqName(walPrefix, start, walSuffix)), m.opts.Fsync, m.opts.FsyncInterval, m.opts.Now)
+	w, err := createWAL(m.opts.FS, filepath.Join(m.dir, seqName(walPrefix, start, walSuffix)), m.opts.Fsync, m.opts.FsyncInterval, m.opts.Now)
 	if err != nil {
 		return err
 	}
 	w.onFsync = m.observeFsync
 	m.w = w
 	m.segStart = start
-	return syncDir(m.dir)
+	return m.opts.FS.SyncDir(m.dir)
 }
 
 // Recovery returns what Open found (valid for the manager's lifetime).
@@ -359,7 +364,7 @@ func (m *Manager) WriteSnapshot(state *PlacerState) error {
 	if state.Seq > m.lastSeq {
 		return fmt.Errorf("durable: snapshot claims seq %d beyond last appended %d", state.Seq, m.lastSeq)
 	}
-	if err := WriteSnapshotFile(filepath.Join(m.dir, seqName(snapPrefix, state.Seq, snapSuffix)), state); err != nil {
+	if err := writeSnapshotFS(m.opts.FS, filepath.Join(m.dir, seqName(snapPrefix, state.Seq, snapSuffix)), state); err != nil {
 		return err
 	}
 	m.snapSeq = state.Seq
@@ -384,7 +389,7 @@ func (m *Manager) WriteSnapshot(state *PlacerState) error {
 // pruneLocked deletes segments fully covered by the newest snapshot and
 // snapshots beyond the keep bound.
 func (m *Manager) pruneLocked() error {
-	segs, err := listSeqFiles(m.dir, walPrefix, walSuffix)
+	segs, err := listSeqFiles(m.opts.FS, m.dir, walPrefix, walSuffix)
 	if err != nil {
 		return err
 	}
@@ -392,20 +397,20 @@ func (m *Manager) pruneLocked() error {
 		if i+1 >= len(segs) || segs[i+1].seq > m.snapSeq+1 || sf.seq == m.segStart {
 			continue
 		}
-		if err := os.Remove(filepath.Join(m.dir, sf.name)); err != nil {
+		if err := m.opts.FS.Remove(filepath.Join(m.dir, sf.name)); err != nil {
 			return err
 		}
 	}
-	snaps, err := listSeqFiles(m.dir, snapPrefix, snapSuffix)
+	snaps, err := listSeqFiles(m.opts.FS, m.dir, snapPrefix, snapSuffix)
 	if err != nil {
 		return err
 	}
 	for i := 0; i < len(snaps)-m.opts.SnapshotKeep; i++ {
-		if err := os.Remove(filepath.Join(m.dir, snaps[i].name)); err != nil {
+		if err := m.opts.FS.Remove(filepath.Join(m.dir, snaps[i].name)); err != nil {
 			return err
 		}
 	}
-	return syncDir(m.dir)
+	return m.opts.FS.SyncDir(m.dir)
 }
 
 // Close syncs and closes the live segment.

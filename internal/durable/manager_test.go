@@ -95,7 +95,7 @@ func TestManagerSnapshotCompactsReplay(t *testing.T) {
 		t.Fatalf("replay suffix: %+v", ri.Events)
 	}
 	// The pre-snapshot segment was pruned.
-	segs, _ := listSeqFiles(dir, walPrefix, walSuffix)
+	segs, _ := listSeqFiles(OSFS{}, dir, walPrefix, walSuffix)
 	for _, sf := range segs {
 		if sf.seq == 1 {
 			t.Fatalf("segment %s should have been pruned", sf.name)
@@ -120,7 +120,7 @@ func TestManagerSnapshotPruneKeep(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snaps, _ := listSeqFiles(dir, snapPrefix, snapSuffix)
+	snaps, _ := listSeqFiles(OSFS{}, dir, snapPrefix, snapSuffix)
 	if len(snaps) != 2 || snaps[0].seq != 3 || snaps[1].seq != 4 {
 		t.Fatalf("retained snapshots: %+v", snaps)
 	}
@@ -393,7 +393,7 @@ func TestInspectDumpAndVerify(t *testing.T) {
 	}
 
 	// Verify catches a flipped byte in a segment.
-	segs, _ := listSeqFiles(dir, walPrefix, walSuffix)
+	segs, _ := listSeqFiles(OSFS{}, dir, walPrefix, walSuffix)
 	var target string
 	for _, sf := range segs {
 		if sf.seq == 1 {

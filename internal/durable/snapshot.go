@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 )
 
@@ -17,8 +16,13 @@ import (
 // into place; a reader never sees a half-written snapshot under its
 // final name unless the rename itself was torn, which the CRC catches.
 
-// WriteSnapshotFile atomically writes state to path.
+// WriteSnapshotFile atomically writes state to path on the OS filesystem.
 func WriteSnapshotFile(path string, state *PlacerState) error {
+	return writeSnapshotFS(OSFS{}, path, state)
+}
+
+// writeSnapshotFS atomically writes state to path through an injected FS.
+func writeSnapshotFS(fsys FS, path string, state *PlacerState) error {
 	payload, err := json.Marshal(state)
 	if err != nil {
 		return fmt.Errorf("durable: encoding snapshot: %w", err)
@@ -32,29 +36,29 @@ func WriteSnapshotFile(path string, state *PlacerState) error {
 	buf = append(buf, payload...)
 
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.Create(tmp, false)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // ReadSnapshot decodes one snapshot stream.
@@ -90,25 +94,17 @@ func ReadSnapshot(r io.Reader) (*PlacerState, error) {
 // default finished-ring cap is well under this).
 const maxSnapshot = 1 << 30
 
-// ReadSnapshotFile reads one snapshot file.
+// ReadSnapshotFile reads one snapshot file from the OS filesystem.
 func ReadSnapshotFile(path string) (*PlacerState, error) {
-	f, err := os.Open(path)
+	return readSnapshotFS(OSFS{}, path)
+}
+
+// readSnapshotFS reads one snapshot file through an injected FS.
+func readSnapshotFS(fsys FS, path string) (*PlacerState, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	return ReadSnapshot(f)
-}
-
-// syncDir fsyncs a directory so a rename or unlink inside it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"time"
 )
 
@@ -103,7 +102,7 @@ func encodeFrame(buf []byte, ev Event) ([]byte, error) {
 
 // walWriter appends framed events to one segment file.
 type walWriter struct {
-	f        *os.File
+	f        File
 	policy   FsyncPolicy
 	interval time.Duration
 	now      Clock
@@ -115,8 +114,8 @@ type walWriter struct {
 }
 
 // createWAL creates a fresh segment file with its magic header synced.
-func createWAL(path string, policy FsyncPolicy, interval time.Duration, now Clock) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+func createWAL(fsys FS, path string, policy FsyncPolicy, interval time.Duration, now Clock) (*walWriter, error) {
+	f, err := fsys.Create(path, true)
 	if err != nil {
 		return nil, err
 	}
@@ -136,8 +135,8 @@ func createWAL(path string, policy FsyncPolicy, interval time.Duration, now Cloc
 
 // openWALForAppend opens an existing segment, truncates it at goodSize
 // (discarding a torn tail) and positions the writer at its end.
-func openWALForAppend(path string, goodSize int64, policy FsyncPolicy, interval time.Duration, now Clock) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+func openWALForAppend(fsys FS, path string, goodSize int64, policy FsyncPolicy, interval time.Duration, now Clock) (*walWriter, error) {
+	f, err := fsys.OpenWrite(path)
 	if err != nil {
 		return nil, err
 	}
@@ -286,9 +285,14 @@ func ReadWAL(r io.Reader, firstSeq uint64) (WALSegment, error) {
 	}
 }
 
-// ReadWALFile reads one segment file.
+// ReadWALFile reads one segment file from the OS filesystem.
 func ReadWALFile(path string, firstSeq uint64) (WALSegment, error) {
-	f, err := os.Open(path)
+	return readWALFS(OSFS{}, path, firstSeq)
+}
+
+// readWALFS reads one segment file through an injected FS.
+func readWALFS(fsys FS, path string, firstSeq uint64) (WALSegment, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return WALSegment{}, err
 	}

@@ -43,7 +43,7 @@ func rawWAL(t *testing.T, evs ...Event) []byte {
 
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "seg.wal")
-	w, err := createWAL(path, FsyncAlways, 0, fixedClock())
+	w, err := createWAL(OSFS{}, path, FsyncAlways, 0, fixedClock())
 	if err != nil {
 		t.Fatalf("createWAL: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestWALTornFinalFrame(t *testing.T) {
 	if err := os.WriteFile(path, cut, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	w, err := openWALForAppend(path, int64(len(twoOnly)), FsyncAlways, 0, fixedClock())
+	w, err := openWALForAppend(OSFS{}, path, int64(len(twoOnly)), FsyncAlways, 0, fixedClock())
 	if err != nil {
 		t.Fatalf("openWALForAppend: %v", err)
 	}

@@ -8,9 +8,9 @@ import (
 // fakeClock drives an SLOTracker deterministically.
 type fakeClock struct{ now time.Time }
 
-func (c *fakeClock) Now() time.Time              { return c.now }
-func (c *fakeClock) advance(d time.Duration)     { c.now = c.now.Add(d) }
-func newFakeClock() *fakeClock                   { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1_000_000, 0)} }
 func sloCfg(clk *fakeClock, cfg SLOConfig) SLOConfig {
 	cfg.Now = clk.Now
 	return cfg

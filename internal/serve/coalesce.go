@@ -24,6 +24,7 @@ const DefaultBatchMax = 256
 // work left behind on shutdown.
 type Coalescer struct {
 	placer   *Placer
+	clock    obs.Clock
 	window   time.Duration
 	maxBatch int
 
@@ -35,7 +36,7 @@ type Coalescer struct {
 
 	mu      sync.Mutex
 	pending []coalesceEntry
-	timer   *time.Timer // armed while a partial group waits out its window
+	timer   obs.Timer // armed while a partial group waits out its window
 }
 
 // coalesceEntry is one parked submission and its reply channel.
@@ -53,13 +54,18 @@ type coalesceResult struct {
 }
 
 // NewCoalescer builds the micro-batcher over a placer. window must be
-// positive; maxBatch <= 0 takes DefaultBatchMax.
-func NewCoalescer(placer *Placer, window time.Duration, maxBatch int, reg *obs.Registry) *Coalescer {
+// positive; maxBatch <= 0 takes DefaultBatchMax; a nil clock takes the
+// wall clock.
+func NewCoalescer(placer *Placer, clock obs.Clock, window time.Duration, maxBatch int, reg *obs.Registry) *Coalescer {
 	if maxBatch <= 0 {
 		maxBatch = DefaultBatchMax
 	}
+	if clock == nil {
+		clock = obs.Wall
+	}
 	return &Coalescer{
 		placer:       placer,
+		clock:        clock,
 		window:       window,
 		maxBatch:     maxBatch,
 		sizeHist:     reg.Histogram("serve.batch_size", obs.BatchSizeBuckets()),
@@ -87,7 +93,7 @@ func (c *Coalescer) SubmitTagged(app, reqID string) (*Placement, error) {
 func (c *Coalescer) SubmitKeyed(app, reqID, key string) (*Placement, error) {
 	ch := make(chan coalesceResult, 1)
 	c.mu.Lock()
-	c.pending = append(c.pending, coalesceEntry{app: app, reqID: reqID, key: key, parked: time.Now(), ch: ch})
+	c.pending = append(c.pending, coalesceEntry{app: app, reqID: reqID, key: key, parked: c.clock.Now(), ch: ch})
 	c.waiting.Set(float64(len(c.pending)))
 	if len(c.pending) >= c.maxBatch {
 		batch := c.takeLocked()
@@ -95,12 +101,21 @@ func (c *Coalescer) SubmitKeyed(app, reqID, key string) (*Placement, error) {
 		c.flush(batch)
 	} else {
 		if c.timer == nil {
-			c.timer = time.AfterFunc(c.window, c.flushOnTimer)
+			c.timer = c.clock.AfterFunc(c.window, c.flushOnTimer)
 		}
 		c.mu.Unlock()
 	}
 	res := <-ch
 	return res.rec, res.err
+}
+
+// Waiting reports how many submissions are currently parked; the
+// deterministic simulation harness uses it to sequence waiters before
+// advancing the clock.
+func (c *Coalescer) Waiting() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
 }
 
 // takeLocked claims the pending group and disarms the window timer.
@@ -132,7 +147,7 @@ func (c *Coalescer) flush(batch []coalesceEntry) {
 	apps := make([]string, len(batch))
 	reqIDs := make([]string, len(batch))
 	keys := make([]string, len(batch))
-	t0 := time.Now()
+	t0 := c.clock.Now()
 	for i, e := range batch {
 		apps[i] = e.app
 		reqIDs[i] = e.reqID
@@ -141,7 +156,7 @@ func (c *Coalescer) flush(batch []coalesceEntry) {
 		c.placer.tracer.coalesceWait(e.reqID, e.app, t0.Sub(e.parked))
 	}
 	outcomes, err := c.placer.SubmitBatchKeyed(apps, reqIDs, keys)
-	c.decisionHist.Observe(time.Since(t0).Seconds())
+	c.decisionHist.Observe(c.clock.Since(t0).Seconds())
 	c.sizeHist.Observe(float64(len(batch)))
 	for i, e := range batch {
 		res := coalesceResult{rec: outcomes[i].Placement, err: outcomes[i].Err}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"tracon/internal/model"
@@ -20,19 +21,25 @@ const fuzzMachines = 3
 // admitted submission is still queued, placed on a unique slot, or
 // completed.
 //
-// Operation encoding: op%8 selects the verb (0-1 submit, 2 submit a batch
+// Operation encoding: op%9 selects the verb (0-1 submit, 2 submit a batch
 // of 2-4 tasks, 3 complete the oldest placed task, 4 kill, 5 revive,
-// 6 drain, 7 undrain); op/8 selects the application (submits) or machine
-// (lifecycle verbs). Submissions shed by the admission bound
-// (ErrQueueFull — the placer enforces it atomically) are expected;
-// lifecycle verbs invalid in the machine's current state are expected
-// no-ops (ErrBadTransition); anything else is a bug.
+// 6 drain, 7 undrain, 8 submit under a reused idempotency key); op/9
+// selects the application (submits), machine (lifecycle verbs) or key
+// (dedup submits). Submissions shed by the admission bound (ErrQueueFull
+// — the placer enforces it atomically) are expected; lifecycle verbs
+// invalid in the machine's current state are expected no-ops
+// (ErrBadTransition); anything else is a bug. A keyed resubmission must
+// return the FIRST placement ID minted under that key, exactly once, no
+// matter what kills, drains and completions happened in between.
 func FuzzPlacerBacklog(f *testing.F) {
 	f.Add([]byte("\x00\x00\x00\x00\x00\x00\x03\x03\x03"))     // fill, then complete
 	f.Add([]byte("\x00\x01\x02\x00\x04\x05\x00\x03"))         // kill 0 mid-load, revive
-	f.Add([]byte("\x00\x0e\x00\x00\x0f\x03"))                 // drain 1, fill, undrain
-	f.Add([]byte("\x04\x0c\x14\x00\x00\x05\x0d\x15\x03\x03")) // kill everything, revive everything
-	f.Add([]byte("\x02\x0a\x12\x03\x02\x04\x02\x05"))         // batch bursts around a kill
+	f.Add([]byte("\x00\x0f\x00\x00\x10\x03"))                 // drain 1, fill, undrain
+	f.Add([]byte("\x04\x0d\x16\x00\x00\x05\x0e\x17\x03\x03")) // kill everything, revive everything
+	f.Add([]byte("\x02\x0b\x14\x03\x02\x04\x02\x05"))         // batch bursts around a kill
+	f.Add([]byte("\x08\x08\x03\x08"))                         // keyed submit, dedup hit, complete, dedup to finished
+	f.Add([]byte("\x08\x04\x08\x05\x11\x11"))                 // dedup across a kill/requeue, second key
+	f.Add([]byte("\x08\x11\x1a\x23\x02\x08\x11"))             // four keys, a batch, two replays
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 512 {
 			ops = ops[:512] // bound one case's work; longer inputs add nothing
@@ -42,10 +49,11 @@ func FuzzPlacerBacklog(f *testing.F) {
 		apps := testLibrary(t, model.NLM).Apps()
 
 		var ids []string
+		keys := map[string]string{}
 		completed, rejected := 0, 0
 		prevDepth := 0
 		for i, op := range ops {
-			verb, arg := int(op)%8, int(op)/8
+			verb, arg := int(op)%9, int(op)/9
 			switch verb {
 			case 0, 1:
 				rec, err := p.Submit(apps[arg%len(apps)])
@@ -103,6 +111,24 @@ func FuzzPlacerBacklog(f *testing.F) {
 			case 7:
 				if err := p.Undrain(arg % fuzzMachines); err != nil && !errors.Is(err, ErrBadTransition) {
 					t.Fatalf("op %d: undrain: %v", i, err)
+				}
+			case 8:
+				key := fmt.Sprintf("k%d", arg%4)
+				rec, err := p.SubmitKeyed(apps[arg%len(apps)], "", key)
+				switch {
+				case errors.Is(err, ErrQueueFull):
+					rejected++
+				case err != nil:
+					t.Fatalf("op %d: keyed submit: %v", i, err)
+				case keys[key] != "":
+					// Exactly-once: the replay must surface the original
+					// placement, never mint a second ID for the same key.
+					if rec.ID != keys[key] {
+						t.Fatalf("op %d: key %q resubmit returned %q, original was %q", i, key, rec.ID, keys[key])
+					}
+				default:
+					keys[key] = rec.ID
+					ids = append(ids, rec.ID)
 				}
 			}
 			if err := p.CheckInvariants(); err != nil {

@@ -6,7 +6,6 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
-	"time"
 
 	"tracon/internal/durable"
 )
@@ -482,7 +481,7 @@ func (p *Placer) RequeueOrphans() int {
 // daemon serves; any error here aborts the boot — serving over a state
 // that cannot be trusted is worse than not serving.
 func (s *Server) recover(mgr *durable.Manager) error {
-	t0 := time.Now()
+	t0 := s.clock.Now()
 	info := mgr.Recovery()
 	if info.Snapshot != nil {
 		if err := s.placer.RestoreState(info.Snapshot); err != nil {
@@ -516,7 +515,7 @@ func (s *Server) recover(mgr *durable.Manager) error {
 	if err := s.placer.drain(); err != nil {
 		return fmt.Errorf("serve: post-recovery drain: %w", err)
 	}
-	dur := time.Since(t0)
+	dur := s.clock.Since(t0)
 	s.tracer.recovery(len(info.Events), orphans, dur)
 	s.logger.LogAttrs(context.Background(), slog.LevelInfo, "recovered journal",
 		slog.Uint64("last_seq", mgr.LastSeq()),

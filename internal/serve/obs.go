@@ -8,7 +8,6 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"time"
 
 	"tracon/internal/obs"
 )
@@ -99,9 +98,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		ctx := context.WithValue(r.Context(), ctxKeyReqID{}, reqID)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 
-		t0 := time.Now()
+		t0 := s.clock.Now()
 		h(sw, r.WithContext(ctx))
-		elapsed := time.Since(t0).Seconds()
+		elapsed := s.clock.Since(t0).Seconds()
 
 		rm.lat.Observe(elapsed)
 		s.reg.Counter(obs.Labeled("serve.http_requests",

@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"tracon/internal/durable"
 	"tracon/internal/model"
+	"tracon/internal/obs"
 	"tracon/internal/sched"
 )
 
@@ -131,6 +131,9 @@ type Placer struct {
 	// journal receives one event per state mutation, appended inside the
 	// same critical section as the mutation (nil-safe; set by recovery).
 	journal *journal
+	// clock times scheduling passes for the tracer; serve.New overrides it
+	// with the configured clock.
+	clock obs.Clock
 
 	mu         sync.Mutex
 	machines   []machine
@@ -175,6 +178,7 @@ func NewPlacer(models *ModelSet, admission *Admission, machines, completedCap in
 	return &Placer{
 		models:     models,
 		admission:  admission,
+		clock:      obs.Wall,
 		machines:   inventory,
 		placements: map[string]*Placement{},
 		dedup:      map[string]string{},
@@ -470,6 +474,14 @@ func (p *Placer) QueueDepth() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.queue)
+}
+
+// QueueIDs returns the backlog's placement IDs in FIFO order (a copy).
+// The deterministic simulation harness asserts re-queue ordering with it.
+func (p *Placer) QueueIDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.queue...)
 }
 
 // FreeSlots returns the number of idle VMs on schedulable (up) machines.
@@ -813,7 +825,7 @@ const optimisticRetries = 3
 func (p *Placer) drain() error {
 	misses := 0
 	for {
-		t0 := time.Now()
+		t0 := p.clock.Now()
 		p.mu.Lock()
 		plan, ok := p.planLocked()
 		if !ok {
@@ -823,16 +835,16 @@ func (p *Placer) drain() error {
 		if misses >= optimisticRetries {
 			// Contention fallback: plan, score and commit under one hold.
 			p.tracer.planOutcome("plan_fallback", len(plan.batch))
-			s0 := time.Now()
+			s0 := p.clock.Now()
 			placements, err := plan.view.Scheduler.Schedule(plan.batch, plan.counts, plan.load)
-			p.tracer.score(len(plan.batch), len(placements), time.Since(s0))
+			p.tracer.score(len(plan.batch), len(placements), p.clock.Since(s0))
 			if err != nil {
 				p.mu.Unlock()
 				return fmt.Errorf("serve: scheduling: %w", err)
 			}
 			done, err := p.commitLocked(plan, placements)
 			p.mu.Unlock()
-			p.tracer.batchPass(len(plan.batch), len(placements), time.Since(t0))
+			p.tracer.batchPass(len(plan.batch), len(placements), p.clock.Since(t0))
 			if err != nil || done {
 				return err
 			}
@@ -841,9 +853,9 @@ func (p *Placer) drain() error {
 		}
 		p.mu.Unlock()
 
-		s0 := time.Now()
+		s0 := p.clock.Now()
 		placements, err := plan.view.Scheduler.Schedule(plan.batch, plan.counts, plan.load)
-		p.tracer.score(len(plan.batch), len(placements), time.Since(s0))
+		p.tracer.score(len(plan.batch), len(placements), p.clock.Since(s0))
 		if err != nil {
 			return fmt.Errorf("serve: scheduling: %w", err)
 		}
@@ -858,7 +870,7 @@ func (p *Placer) drain() error {
 		done, err := p.commitLocked(plan, placements)
 		p.mu.Unlock()
 		p.tracer.planOutcome("plan_commit", len(plan.batch))
-		p.tracer.batchPass(len(plan.batch), len(placements), time.Since(t0))
+		p.tracer.batchPass(len(plan.batch), len(placements), p.clock.Since(t0))
 		if err != nil || done {
 			return err
 		}

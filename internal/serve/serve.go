@@ -96,6 +96,12 @@ type Config struct {
 	SLOWindow     time.Duration
 	SLOLatencyP99 float64
 	SLOErrorRate  float64
+	// Clock injects the daemon's time source: every timestamp, latency
+	// measurement and timer (coalesce windows, SLO epochs, Retry-After
+	// arithmetic) reads it. Nil takes the wall clock; the deterministic
+	// simulation harness passes an obs.VirtualClock so the whole serving
+	// stack advances only via Advance.
+	Clock obs.Clock
 	// Journal, when set, makes the placer crash-safe: New recovers the
 	// placer from the journal's newest snapshot plus WAL replay (verifying
 	// invariants before serving), and every subsequent lifecycle mutation
@@ -115,6 +121,7 @@ type Server struct {
 	coalescer *Coalescer // nil when CoalesceWindow is zero
 	batchMax  int
 
+	clock     obs.Clock
 	reg       *obs.Registry
 	latency   *obs.Histogram
 	decision  *obs.Histogram
@@ -136,6 +143,10 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 	if cfg.Machines <= 0 {
 		return nil, fmt.Errorf("serve: config needs Machines > 0")
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = obs.Wall
+	}
 	var cache *PredCache
 	if !cfg.DisableCache {
 		cache = NewPredCache(cfg.CacheCap)
@@ -156,6 +167,7 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	placer.clock = clock
 	batchMax := cfg.BatchMax
 	if batchMax <= 0 {
 		batchMax = DefaultBatchMax
@@ -170,7 +182,7 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 	}
 	var tracer *serveTracer
 	if cfg.TraceCap >= 0 {
-		tracer = newServeTracer(policy, cfg.Machines, cfg.TraceCap)
+		tracer = newServeTracer(policy, cfg.Machines, cfg.TraceCap, clock)
 	}
 	placer.tracer = tracer
 	reg := obs.NewRegistry()
@@ -187,13 +199,15 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 		decision:  reg.Histogram("serve.decision_seconds", obs.DefaultLatencyBuckets()),
 		batchSize: reg.Histogram("serve.batch_size", obs.BatchSizeBuckets()),
 		batchLat:  reg.Histogram("serve.batch_decision_seconds", obs.DefaultLatencyBuckets()),
-		start:     time.Now(),
+		start:     clock.Now(),
+		clock:     clock,
 		logger:    logger,
 		tracer:    tracer,
 		slo: obs.NewSLOTracker(obs.SLOConfig{
 			Window:     cfg.SLOWindow,
 			LatencyP99: cfg.SLOLatencyP99,
 			ErrorRate:  cfg.SLOErrorRate,
+			Now:        clock.Now,
 		}),
 		reqPrefix: newReqPrefix(),
 	}
@@ -204,7 +218,7 @@ func New(lib *model.Library, cfg Config) (*Server, error) {
 		}
 	}
 	if cfg.CoalesceWindow > 0 {
-		s.coalescer = NewCoalescer(placer, cfg.CoalesceWindow, batchMax, reg)
+		s.coalescer = NewCoalescer(placer, clock, cfg.CoalesceWindow, batchMax, reg)
 	}
 	return s, nil
 }
@@ -217,6 +231,13 @@ func (s *Server) Placer() *Placer { return s.placer }
 
 // Swapper exposes the drift loop (tests, tracond).
 func (s *Server) Swapper() *SwapManager { return s.swapper }
+
+// Admission exposes the backpressure gate (tests, the DST harness's
+// bound checks).
+func (s *Server) Admission() *Admission { return s.admission }
+
+// Coalescer exposes the micro-batcher; nil when CoalesceWindow is zero.
+func (s *Server) Coalescer() *Coalescer { return s.coalescer }
 
 // Registry exposes the metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -295,7 +316,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.admission.Release()
-	t0 := time.Now()
+	t0 := s.clock.Now()
 	var (
 		rec *Placement
 		err error
@@ -305,7 +326,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else {
 		rec, err = s.placer.SubmitKeyed(req.App, reqID, key)
 	}
-	s.decision.Observe(time.Since(t0).Seconds())
+	s.decision.Observe(s.clock.Since(t0).Seconds())
 	if errors.Is(err, ErrQueueFull) {
 		// The queue bound scales with schedulable capacity: a degraded
 		// cluster sheds load early, and the Retry-After hint stretches as
@@ -415,9 +436,9 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range reqIDs {
 		reqIDs[i] = reqID
 	}
-	t0 := time.Now()
+	t0 := s.clock.Now()
 	outcomes, err := s.placer.SubmitBatchKeyed(apps, reqIDs, keys)
-	elapsed := time.Since(t0).Seconds()
+	elapsed := s.clock.Since(t0).Seconds()
 	s.decision.Observe(elapsed)
 	s.batchLat.Observe(elapsed)
 	s.batchSize.Observe(float64(len(apps)))
@@ -613,7 +634,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"free_slots":  snap.FreeSlots,
 		"up_machines": snap.Available / SlotsPerMachine,
 		"queue_depth": snap.QueueDepth,
-		"uptime_s":    time.Since(s.start).Seconds(),
+		"uptime_s":    s.clock.Since(s.start).Seconds(),
 		"latency":     s.latency.Latency(),
 		"slo": map[string]any{
 			"status":            rep.Status,

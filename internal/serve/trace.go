@@ -16,14 +16,20 @@ import (
 // tracontrace -perfetto.
 type serveTracer struct {
 	tr    *obs.Tracer
+	clock obs.Clock
 	start time.Time
 }
 
-// newServeTracer builds the ring. capacity <= 0 takes obs.DefaultTraceCap.
-func newServeTracer(policy string, machines, capacity int) *serveTracer {
+// newServeTracer builds the ring. capacity <= 0 takes obs.DefaultTraceCap;
+// a nil clock takes the wall clock.
+func newServeTracer(policy string, machines, capacity int, clock obs.Clock) *serveTracer {
+	if clock == nil {
+		clock = obs.Wall
+	}
 	return &serveTracer{
 		tr:    obs.NewTracer("tracond", policy, machines, capacity),
-		start: time.Now(),
+		clock: clock,
+		start: clock.Now(),
 	}
 }
 
@@ -33,7 +39,7 @@ func (t *serveTracer) emit(kind string, info obs.ServeInfo) {
 		return
 	}
 	t.tr.Append(obs.TraceEvent{
-		T:     time.Since(t.start).Seconds(),
+		T:     t.clock.Since(t.start).Seconds(),
 		Kind:  kind,
 		Serve: &info,
 	})

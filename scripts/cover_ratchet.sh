@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Per-package statement-coverage ratchet.
+#
+# COVERAGE.ratchet records, for every tested package, the coverage observed
+# when the floor was last raised. The check fails when a package's current
+# coverage falls more than EPS points below its floor (the tolerance absorbs
+# scheduling-dependent branches in the concurrency tests); packages that
+# gained coverage keep their old floor until someone deliberately raises it.
+#
+#   scripts/cover_ratchet.sh          # gate: compare against the floors
+#   scripts/cover_ratchet.sh -update  # raise floors to current coverage
+#                                     # (never lowers one) and add new
+#                                     # packages
+set -euo pipefail
+cd "$(cd "$(dirname "$0")/.." && pwd)"
+
+RATCHET=COVERAGE.ratchet
+EPS=1.0
+MODE=check
+[ "${1:-}" = "-update" ] && MODE=update
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# `go test -cover` per package; keep "ok ... coverage: N% of statements"
+# lines, drop untested ("?") and zero-asserted packages.
+go test ./internal/... -count=1 -cover |
+  awk '$1 == "ok" {
+    for (i = 1; i <= NF; i++)
+      if ($i == "coverage:") { sub(/%/, "", $(i+1)); print $2, $(i+1) }
+  }' | sort > "$tmp"
+
+if [ ! -s "$tmp" ]; then
+  echo "cover_ratchet: parsed no coverage lines (did the tests fail?)" >&2
+  exit 1
+fi
+
+if [ "$MODE" = update ]; then
+  if [ -f "$RATCHET" ]; then
+    awk 'NR == FNR { floor[$1] = $2; next }
+         { if (($1 in floor) && floor[$1] + 0 > $2 + 0) $2 = floor[$1]; print }' \
+      "$RATCHET" "$tmp" > "$RATCHET.new"
+    mv "$RATCHET.new" "$RATCHET"
+  else
+    cp "$tmp" "$RATCHET"
+  fi
+  echo "cover_ratchet: floors written to $RATCHET"
+  cat "$RATCHET"
+  exit 0
+fi
+
+if [ ! -f "$RATCHET" ]; then
+  echo "cover_ratchet: $RATCHET missing; run scripts/cover_ratchet.sh -update" >&2
+  exit 1
+fi
+
+fail=0
+while read -r pkg floor; do
+  got=$(awk -v p="$pkg" '$1 == p { print $2 }' "$tmp")
+  if [ -z "$got" ]; then
+    echo "cover_ratchet: FAIL $pkg has a ${floor}% floor but reported no coverage" >&2
+    fail=1
+    continue
+  fi
+  if awk -v g="$got" -v f="$floor" -v e="$EPS" 'BEGIN { exit !(g + 0 < f - e) }'; then
+    echo "cover_ratchet: FAIL $pkg at ${got}%, below the ${floor}% floor (tolerance ${EPS})" >&2
+    fail=1
+  else
+    echo "cover_ratchet: ok   $pkg ${got}% (floor ${floor}%)"
+  fi
+done < "$RATCHET"
+exit "$fail"
